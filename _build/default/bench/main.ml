@@ -1,0 +1,114 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (sect 5) and, separately, runs Bechamel microbenchmarks of
+   the kernels behind them.
+
+   Usage:
+     bench/main.exe                    regenerate everything
+     bench/main.exe fig1|dse|table2|table3|fig11|fig12|fig13|table4|ablations
+     bench/main.exe micro              Bechamel microbenchmarks
+
+   Input size and workload scale come from RAP_EVAL_CHARS / RAP_EVAL_SCALE
+   (defaults 10_000 and 1; the paper uses 100_000 characters). *)
+
+let experiments env = function
+  | "fig1" -> Experiments.print_fig1 (Experiments.fig1 env)
+  | "dse" -> Experiments.print_dse (Experiments.dse env)
+  | "table2" ->
+      let d = Experiments.dse env in
+      Experiments.print_versus ~title:"== Table 2: NBVA mode of RAP vs NFA mode and ASICs =="
+        ~baseline_name:"RAP-NBVA" (Experiments.table2 env d)
+  | "table3" ->
+      let d = Experiments.dse env in
+      Experiments.print_versus ~title:"== Table 3: LNFA mode of RAP vs NFA mode and ASICs =="
+        ~baseline_name:"RAP-LNFA" (Experiments.table3 env d)
+  | "fig11" ->
+      let d = Experiments.dse env in
+      Experiments.print_fig11 (Experiments.fig11 env d)
+  | "fig12" ->
+      let d = Experiments.dse env in
+      Experiments.print_fig12 (Experiments.fig12 env d)
+  | "fig13" ->
+      let d = Experiments.dse env in
+      Experiments.print_fig13 (Experiments.fig13 env d)
+  | "table4" -> Experiments.print_table4 (Experiments.table4 env)
+  | "ablations" ->
+      List.iter
+        (fun suite ->
+          Ablations.print ~suite (Ablations.run env ~suite ~params:Program.default_params))
+        [ "Snort"; "Yara"; "Prosite" ]
+  | other ->
+      Printf.eprintf "unknown experiment %S\n" other;
+      exit 2
+
+(* Microbenchmarks: one Test.make per evaluation kernel. *)
+let micro () =
+  let open Bechamel in
+  let params = Program.default_params in
+  let snort = Benchmarks.by_name "Snort" in
+  let input1k = snort.Benchmarks.make_input ~chars:1_000 in
+  let sa =
+    Shift_and.of_bin
+      (List.init 8 (fun i ->
+           Array.init 12 (fun j -> Charclass.singleton (Char.chr (97 + ((i + j) mod 26))))))
+  in
+  let nbva = Nbva.compile ~threshold:8 (Parser.parse_exn "head.{2,64}tail") in
+  let nfa = Glushkov.compile (Parser.parse_exn "a(b|c)*defg") in
+  let small_rules =
+    List.filteri (fun i _ -> i < 24) snort.Benchmarks.regexes |> List.map fst
+  in
+  let tests =
+    [
+      Test.make ~name:"shift-and step x1k (Fig 2 / Table 3 kernel)"
+        (Staged.stage (fun () ->
+             let st = Shift_and.start sa in
+             String.iter (fun c -> ignore (Shift_and.step sa st c)) input1k));
+      Test.make ~name:"nbva step x1k (Table 2 kernel)"
+        (Staged.stage (fun () ->
+             let st = Nbva.start nbva in
+             String.iter (fun c -> ignore (Nbva.step nbva st c)) input1k));
+      Test.make ~name:"nfa step x1k (NFA-mode kernel)"
+        (Staged.stage (fun () -> ignore (Nfa.run nfa input1k)));
+      Test.make ~name:"compile 24 Snort rules (Fig 9 decision + backends)"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun src -> ignore (Mode_select.parse_and_compile ~params src))
+               small_rules));
+      Test.make ~name:"simulate 24 rules on RAP x1k chars (Fig 12 kernel)"
+        (Staged.stage (fun () ->
+             ignore (Rap.simulate ~params ~regexes:small_rules ~input:input1k ())));
+    ]
+  in
+  let benchmark test =
+    let quota = Time.second 0.5 in
+    Benchmark.all
+      (Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) ())
+      Toolkit.Instance.[ monotonic_clock ]
+      test
+  in
+  let analyze results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let stats = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-55s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-55s (no estimate)\n" name)
+        stats)
+    tests
+
+let () =
+  let env = Experiments.default_env () in
+  match Sys.argv with
+  | [| _ |] ->
+      Printf.printf
+        "RAP evaluation harness (chars=%d, scale=%d; set RAP_EVAL_CHARS / RAP_EVAL_SCALE)\n\n"
+        env.Experiments.chars env.Experiments.scale;
+      Experiments.run_all env
+  | [| _; "micro" |] -> micro ()
+  | argv -> Array.iteri (fun i a -> if i > 0 then experiments env a) argv

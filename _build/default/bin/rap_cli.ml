@@ -1,0 +1,280 @@
+(* rap — command-line front end.
+
+   Subcommands mirror both the library's two entry points (software
+   matching and hardware simulation) and the paper artifact's evaluation
+   driver (main_gap.py --data ... --task ...):
+
+     rap match    REGEX [INPUT|-]         find matches with the reference engine
+     rap compile  REGEX...                show the mode decision and resources
+     rap simulate -e REGEX... [INPUT|-]   run the RAP simulator on a rule set
+     rap eval     --data Snort,Yara --task DSE|NBVA|LNFA|ASIC|ALL|...
+*)
+
+open Cmdliner
+
+let read_input = function
+  | None -> None
+  | Some "-" ->
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf stdin 4096
+         done
+       with End_of_file -> ());
+      Some (Buffer.contents buf)
+  | Some path when Sys.file_exists path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+  | Some literal -> Some literal
+
+(* ---- rap match ---- *)
+
+let match_cmd =
+  let regex = Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX") in
+  let input =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"INPUT" ~doc:"Input text, a file path, or - for stdin.")
+  in
+  let count_only = Arg.(value & flag & info [ "c"; "count" ] ~doc:"Print only the match count.") in
+  let run regex input count_only =
+    match Rap.matcher regex with
+    | Error e ->
+        Printf.eprintf "regex error: %s\n" e;
+        exit 2
+    | Ok m -> (
+        let engine =
+          match Rap.engine_kind m with
+          | Rap.Nfa_engine -> "NFA"
+          | Rap.Nbva_engine -> "NBVA"
+          | Rap.Shift_and_engine -> "Shift-And"
+        in
+        match read_input input with
+        | None ->
+            Printf.printf "engine: %s\n" engine;
+            0
+        | Some text ->
+            let ends = Rap.find_all m text in
+            if count_only then Printf.printf "%d\n" (List.length ends)
+            else begin
+              Printf.printf "engine: %s, %d match(es)\n" engine (List.length ends);
+              List.iter (fun p -> Printf.printf "  match ending at offset %d\n" p) ends
+            end;
+            if ends = [] then 1 else 0)
+  in
+  let doc = "Match a regex against input with the reference software engine." in
+  Cmd.v (Cmd.info "match" ~doc) Term.(const run $ regex $ input $ count_only)
+
+(* ---- rap compile ---- *)
+
+let compile_cmd =
+  let regexes = Arg.(non_empty & pos_all string [] & info [] ~docv:"REGEX") in
+  let threshold =
+    Arg.(value & opt int Program.default_params.Program.unfold_threshold
+         & info [ "threshold" ] ~doc:"Unfolding threshold for bounded repetitions.")
+  in
+  let depth =
+    Arg.(value & opt int Program.default_params.Program.bv_depth
+         & info [ "depth" ] ~doc:"BV depth (rows per BV word).")
+  in
+  let run regexes threshold depth =
+    let params =
+      { Program.default_params with Program.unfold_threshold = threshold; bv_depth = depth }
+    in
+    let ok = ref true in
+    List.iter
+      (fun src ->
+        match Mode_select.parse_and_compile ~params src with
+        | Error e ->
+            ok := false;
+            Printf.printf "%-40s ERROR: %s\n" src e
+        | Ok c ->
+            let k = c.Program.kind in
+            Printf.printf "%-40s %-5s states=%-5d tiles=%d\n" src (Program.mode_name k)
+              (Program.num_states k) (Program.num_tiles k))
+      regexes;
+    if !ok then 0 else 1
+  in
+  let doc = "Show the mode decision (Fig 9) and hardware resources per regex." in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ regexes $ threshold $ depth)
+
+(* ---- rap simulate ---- *)
+
+let simulate_cmd =
+  let regexes =
+    Arg.(non_empty & opt_all string [] & info [ "e"; "regex" ] ~docv:"REGEX" ~doc:"A rule (repeatable).")
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc:"Input text, file, or -.")
+  in
+  let arch =
+    Arg.(value & opt (enum [ ("rap", `Rap); ("cama", `Cama); ("ca", `Ca); ("bvap", `Bvap) ]) `Rap
+         & info [ "arch" ] ~doc:"Architecture to simulate.")
+  in
+  let run regexes input arch =
+    let input = Option.value ~default:"" (read_input (Some input)) in
+    let arch =
+      match arch with
+      | `Rap -> Rap.rap_arch ()
+      | `Cama -> Arch.cama
+      | `Ca -> Arch.ca
+      | `Bvap -> Arch.bvap
+    in
+    match Rap.simulate ~arch ~regexes ~input () with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok report ->
+        Format.printf "%a@." Runner.pp_report report;
+        Format.printf "energy breakdown:@.%a@." Energy.pp report.Runner.energy;
+        0
+  in
+  let doc = "Run a rule set through the cycle-level hardware simulator." in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ regexes $ input $ arch)
+
+(* ---- rap eval ---- *)
+
+let eval_cmd =
+  let data =
+    Arg.(value & opt string "All"
+         & info [ "data" ] ~doc:"Comma-separated benchmark names, or All.")
+  in
+  let task =
+    Arg.(value & opt string "ALL"
+         & info [ "task" ]
+             ~doc:"One of DSE, NBVA (Table 2), LNFA (Table 3), ASIC (Fig 12), FIG1, FIG11, \
+                   FIG13, FPGA (Table 4), ALL.")
+  in
+  let chars =
+    Arg.(value & opt int 10_000 & info [ "chars" ] ~doc:"Input characters per run.")
+  in
+  let run data task chars =
+    let env = { Experiments.chars; scale = 1 } in
+    (* [--data] filters the suites for the mode-vs-mode tables *)
+    let filter rows name_of =
+      if data = "All" then rows
+      else
+        let names = String.split_on_char ',' data in
+        List.filter (fun r -> List.mem (name_of r) names) rows
+    in
+    (match String.uppercase_ascii task with
+    | "FIG1" -> Experiments.print_fig1 (Experiments.fig1 env)
+    | "DSE" -> Experiments.print_dse (Experiments.dse env)
+    | "NBVA" ->
+        let d = Experiments.dse env in
+        Experiments.print_versus ~title:"== Table 2 ==" ~baseline_name:"RAP-NBVA"
+          (filter (Experiments.table2 env d) (fun r -> r.Experiments.v_suite))
+    | "LNFA" ->
+        let d = Experiments.dse env in
+        Experiments.print_versus ~title:"== Table 3 ==" ~baseline_name:"RAP-LNFA"
+          (filter (Experiments.table3 env d) (fun r -> r.Experiments.v_suite))
+    | "FIG11" ->
+        let d = Experiments.dse env in
+        Experiments.print_fig11 (Experiments.fig11 env d)
+    | "ASIC" | "FIG12" ->
+        let d = Experiments.dse env in
+        Experiments.print_fig12
+          (filter (Experiments.fig12 env d) (fun r -> r.Experiments.o_suite))
+    | "FIG13" ->
+        let d = Experiments.dse env in
+        Experiments.print_fig13
+          (filter (Experiments.fig13 env d) (fun r -> r.Experiments.o_suite))
+    | "FPGA" | "TABLE4" -> Experiments.print_table4 (Experiments.table4 env)
+    | "ALL" -> Experiments.run_all env
+    | other ->
+        Printf.eprintf "unknown task %S\n" other;
+        exit 2);
+    0
+  in
+  let doc = "Reproduce the paper's evaluation (the artifact's main_gap.py)." in
+  Cmd.v (Cmd.info "eval" ~doc) Term.(const run $ data $ task $ chars)
+
+(* ---- rap check ---- *)
+
+let check_cmd =
+  let data = Arg.(value & opt string "All" & info [ "data" ] ~doc:"Benchmarks to check.") in
+  let chars = Arg.(value & opt int 2_000 & info [ "chars" ] ~doc:"Input characters.") in
+  let run data chars =
+    let suites =
+      if data = "All" then Benchmarks.all ()
+      else List.map Benchmarks.by_name (String.split_on_char ',' data)
+    in
+    let params = Program.default_params in
+    let failed = ref 0 in
+    List.iter
+      (fun (s : Benchmarks.t) ->
+        let input = s.Benchmarks.make_input ~chars in
+        let failures = Consistency.check_set ~params s.Benchmarks.regexes ~input in
+        Printf.printf "%-14s %d rule(s), %d disagreement(s)\n" s.Benchmarks.name
+          (List.length s.Benchmarks.regexes)
+          (List.length failures);
+        List.iter (fun f -> Format.printf "  %a@." Consistency.pp_failure f) failures;
+        failed := !failed + List.length failures)
+      suites;
+    if !failed = 0 then 0 else 1
+  in
+  let doc = "Cross-validate the hardware engines against the reference matchers." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ data $ chars)
+
+(* ---- rap export ---- *)
+
+let export_cmd =
+  let dir = Arg.(value & opt string "result" & info [ "dir" ] ~doc:"Output directory.") in
+  let chars = Arg.(value & opt int 10_000 & info [ "chars" ] ~doc:"Input characters per run.") in
+  let run dir chars =
+    let env = { Experiments.chars; scale = 1 } in
+    let written = Export.export_all env ~dir in
+    List.iter (Printf.printf "wrote %s\n") written;
+    0
+  in
+  let doc = "Write the artifact-style CSV/JSON result files." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ dir $ chars)
+
+(* ---- rap ablate ---- *)
+
+let ablate_cmd =
+  let data = Arg.(value & opt string "Yara" & info [ "data" ] ~doc:"Benchmark to ablate.") in
+  let chars = Arg.(value & opt int 5_000 & info [ "chars" ] ~doc:"Input characters.") in
+  let run data chars =
+    let env = { Experiments.chars; scale = 1 } in
+    List.iter
+      (fun suite ->
+        let rows = Ablations.run env ~suite ~params:Program.default_params in
+        Ablations.print ~suite rows)
+      (if data = "All" then
+         List.map (fun (s : Benchmarks.t) -> s.Benchmarks.name) (Benchmarks.all ())
+       else String.split_on_char ',' data);
+    0
+  in
+  let doc = "Ablate RAP's design choices (modes, binning, BV depth)." in
+  Cmd.v (Cmd.info "ablate" ~doc) Term.(const run $ data $ chars)
+
+(* ---- rap mnrl ---- *)
+
+let mnrl_cmd =
+  let regexes =
+    Arg.(non_empty & opt_all string [] & info [ "e"; "regex" ] ~docv:"REGEX" ~doc:"A rule.")
+  in
+  let out = Arg.(required & opt (some string) None & info [ "o" ] ~doc:"Output path.") in
+  let run regexes out =
+    let nets =
+      List.mapi
+        (fun i src -> (Printf.sprintf "rule%d" i, Glushkov.compile (Parser.parse_exn src)))
+        regexes
+    in
+    Mnrl.save ~path:out nets;
+    Printf.printf "wrote %d network(s) to %s\n" (List.length nets) out;
+    0
+  in
+  let doc = "Export compiled automata in the MNRL-style interchange format." in
+  Cmd.v (Cmd.info "mnrl" ~doc) Term.(const run $ regexes $ out)
+
+let () =
+  let doc = "RAP: reconfigurable automata processor - compiler, simulator, evaluation" in
+  let info = Cmd.info "rap" ~version:Rap.version ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ match_cmd; compile_cmd; simulate_cmd; eval_cmd; check_cmd; export_cmd; ablate_cmd;
+            mnrl_cmd ]))

@@ -1,0 +1,1 @@
+examples/clamav_scan.ml: Buffer Distributions Energy Glushkov List Nbva Nfa Parser Printf Program Rap Runner String

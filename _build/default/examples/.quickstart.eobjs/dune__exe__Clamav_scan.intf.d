@@ -1,0 +1,1 @@
+examples/clamav_scan.mli:

@@ -1,0 +1,1 @@
+examples/prosite_motifs.ml: Buffer Distributions Energy List Mode_select Printf Program Rap Runner String

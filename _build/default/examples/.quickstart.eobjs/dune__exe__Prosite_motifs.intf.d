@@ -1,0 +1,1 @@
+examples/prosite_motifs.mli:

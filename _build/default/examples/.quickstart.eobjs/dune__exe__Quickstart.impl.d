@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitvec Format List Lnfa Mode_select Option Parser Printf Rap Runner Shift_and String

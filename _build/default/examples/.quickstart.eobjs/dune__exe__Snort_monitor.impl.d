@@ -1,0 +1,1 @@
+examples/snort_monitor.ml: Arch Array Buffer Distributions Energy Float Format List Mode_select Printf Program Rap Runner

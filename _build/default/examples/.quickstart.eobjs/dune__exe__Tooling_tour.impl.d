@@ -1,0 +1,1 @@
+examples/tooling_tour.ml: Arch Bank_sim Buffer Consistency Distributions Filename Format Glushkov List Mapper Mnrl Nfa Parser Printf Program Rap Runner String Sys

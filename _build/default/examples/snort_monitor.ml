@@ -1,0 +1,82 @@
+(* Network intrusion monitoring, the paper's motivating edge scenario
+   (sect 1): a Snort-like rule set screens a traffic stream on RAP, and we
+   compare the energy bill against running the same rules NFA-only
+   (CAMA-style) — the reconfigurability argument in one example.
+
+   Run with:  dune exec examples/snort_monitor.exe *)
+
+let () =
+  let params = Rap.default_params in
+
+  (* A hand-written rule set in the three families Snort mixes: literal
+     content rules (LNFA), counted-gap rules (NBVA), and unbounded-gap
+     protocol rules (NFA). *)
+  let rules =
+    [
+      (* content keywords -> LNFA *)
+      "loginfail";
+      "authbypass";
+      "cmd\\.exe";
+      "select[ ]insert";
+      (* counted gaps, the r{m,n} construct -> NBVA *)
+      "user.{1,32}pass";
+      "host:.{0,48}evilcdn";
+      "cookie=.{8,64}admin";
+      "GET[ ].{1,40}\\.php\\?id=";
+      (* unbounded gaps and alternations -> NFA *)
+      "POST.*upload(\\.asp|\\.jsp)";
+      "(wget|curl).*http";
+    ]
+  in
+  print_endline "== rule compilation (Fig 9 decisions) ==";
+  List.iter
+    (fun src ->
+      match Mode_select.parse_and_compile ~params src with
+      | Ok c ->
+          Printf.printf "  %-28s %-5s %3d states\n" src
+            (Program.mode_name c.Program.kind)
+            (Program.num_states c.Program.kind)
+      | Error e -> Printf.printf "  %-28s ERROR %s\n" src e)
+    rules;
+
+  (* Synthesise traffic: mostly benign noise, a few embedded attacks. *)
+  let attacks = [ "user=root&12345678&passwd"; "cmd.exe"; "wget -q http://x" ] in
+  let buf = Buffer.create 20_000 in
+  let st = Distributions.rng 42 in
+  while Buffer.length buf < 20_000 do
+    if Distributions.int_in st 0 199 = 0 then
+      Buffer.add_string buf (Distributions.choose st (Array.of_list attacks))
+    else Buffer.add_char buf (Distributions.alnum_char st)
+  done;
+  let traffic = Buffer.contents buf in
+
+  print_endline "\n== streaming 20 kB of traffic ==";
+  let show name arch =
+    match Rap.simulate ~arch ~params ~regexes:rules ~input:traffic () with
+    | Ok r ->
+        Format.printf "  %-5s %6.2f Gch/s  %8.3f uJ  %6.3f mm^2  %6.3f W  %4d reports@." name
+          r.Runner.throughput_gchs
+          (Energy.total_uj r.Runner.energy)
+          r.Runner.area_mm2 r.Runner.power_w r.Runner.match_reports;
+        Some r
+    | Error e ->
+        Printf.printf "  %s failed: %s\n" name e;
+        None
+  in
+  let rap = show "RAP" (Rap.rap_arch ()) in
+  let cama = show "CAMA" Arch.cama in
+  (match (rap, cama) with
+  | Some rap, Some cama ->
+      let ratio =
+        Energy.total_uj cama.Runner.energy /. Float.max 1e-9 (Energy.total_uj rap.Runner.energy)
+      in
+      Printf.printf "\n  RAP spends %.2fx less energy than NFA-only CAMA on this mix\n" ratio
+  | _ -> ());
+
+  (* Which rules fired?  Cross-check with the reference engines. *)
+  print_endline "\n== alerts (reference engines) ==";
+  List.iter
+    (fun src ->
+      let n = Rap.count_matches (Rap.matcher_exn src) traffic in
+      if n > 0 then Printf.printf "  %-28s %d alert(s)\n" src n)
+    rules

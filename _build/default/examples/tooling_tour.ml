@@ -1,0 +1,64 @@
+(* A tour of the supporting tooling around the core compiler/simulator:
+   placement floorplans, the Hyperscan-role consistency check, stall
+   traces feeding the bank-level buffering model (sect 3.3), and
+   MNRL-style automata interchange.
+
+   Run with:  dune exec examples/tooling_tour.exe *)
+
+let section title = Printf.printf "\n== %s ==\n%!" title
+
+let () =
+  let params = Program.default_params in
+  let rules =
+    [ "intrusion"; "a{25}b"; "hdr.{4,60}sig"; "key[0-9a-f]{16}"; "short[xy]?" ]
+  in
+  let regexes = List.map (fun s -> (s, Parser.parse_exn s)) rules in
+  let arch = Rap.rap_arch () in
+
+  (* 1. The floorplan the greedy mapper produced. *)
+  section "Placement floorplan";
+  let units, _ = Runner.compile_for arch ~params regexes in
+  let placement = Runner.place arch ~params units in
+  Format.printf "%a@." Mapper.pp_placement placement;
+
+  (* 2. Consistency: hardware engines vs ground truth on live input. *)
+  section "Consistency check (the paper's Hyperscan cross-validation)";
+  let st = Distributions.rng 99 in
+  let buf = Buffer.create 4096 in
+  while Buffer.length buf < 4000 do
+    if Distributions.int_in st 0 299 = 0 then Buffer.add_string buf "intrusionhdrxxxxsig"
+    else Buffer.add_char buf (Distributions.alnum_char st)
+  done;
+  let input = Buffer.contents buf in
+  (match Consistency.check_set ~params regexes ~input with
+  | [] -> Printf.printf "  %d rules, 0 disagreements over %d chars\n" (List.length rules)
+            (String.length input)
+  | failures -> List.iter (fun f -> Format.printf "  %a@." Consistency.pp_failure f) failures);
+
+  (* 3. Stall traces + the two-level input buffering of sect 3.3. *)
+  section "Bank-level buffering";
+  let report, stalls = Runner.run_with_stall_traces arch ~params placement ~input in
+  Format.printf "  runner: %a@." Runner.pp_report report;
+  let bank =
+    Bank_sim.run ~clock_ghz:arch.Arch.clock_ghz ~chars:(String.length input) ~stalls
+  in
+  Printf.printf
+    "  bank:   %.2f Gch/s with buffering (%d stall cycles hidden, arbiter %s)\n"
+    bank.Bank_sim.throughput_gchs bank.Bank_sim.stall_cycles_hidden
+    (if bank.Bank_sim.arbiter_active then "on" else "off");
+
+  (* 4. MNRL-style interchange: persist the compiled automata. *)
+  section "MNRL export/import";
+  let nets = List.map (fun (src, ast) -> (src, Glushkov.compile ast)) regexes in
+  let path = Filename.temp_file "rap_rules" ".mnrl.json" in
+  Mnrl.save ~path nets;
+  (match Mnrl.load ~path with
+  | Ok nets' ->
+      Printf.printf "  saved and reloaded %d networks from %s\n" (List.length nets') path;
+      List.iter2
+        (fun (id, a) (_, b) ->
+          let same = Nfa.match_ends a input = Nfa.match_ends b input in
+          Printf.printf "    %-22s %s\n" id (if same then "matches preserved" else "MISMATCH"))
+        nets nets'
+  | Error e -> Printf.printf "  reload failed: %s\n" e);
+  Sys.remove path

@@ -1,0 +1,1 @@
+lib/automata/bitvec.ml: Array Format

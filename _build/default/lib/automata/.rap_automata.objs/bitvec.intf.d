@@ -1,0 +1,1 @@
+lib/automata/bitvec.mli: Format

@@ -1,0 +1,1 @@
+lib/automata/glushkov.ml: Array Ast Int List Nfa Rewrite Set

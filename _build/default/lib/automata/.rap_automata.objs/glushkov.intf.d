@@ -1,0 +1,1 @@
+lib/automata/glushkov.mli: Ast Nfa

@@ -1,0 +1,1 @@
+lib/automata/lnfa.ml: Array Charclass Format Glushkov List Nfa

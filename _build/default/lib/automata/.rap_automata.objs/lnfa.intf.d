@@ -1,0 +1,1 @@
+lib/automata/lnfa.mli: Ast Charclass Format Nfa

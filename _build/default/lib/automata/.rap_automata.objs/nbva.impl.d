@@ -1,0 +1,1 @@
+lib/automata/nbva.ml: Array Ast Bitvec Charclass Format Int List Printf Rewrite Set String

@@ -1,0 +1,1 @@
+lib/automata/nbva.mli: Ast Bitvec Charclass Format

@@ -1,0 +1,1 @@
+lib/automata/shift_and.ml: Array Bitvec Char Charclass List Lnfa String

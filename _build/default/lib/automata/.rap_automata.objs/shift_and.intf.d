@@ -1,0 +1,1 @@
+lib/automata/shift_and.mli: Bitvec Charclass Lnfa

@@ -1,0 +1,137 @@
+(* Backed by an int array (62 usable tagged-int bits per cell keeps all
+   operations allocation-free on 64-bit OCaml). *)
+
+let bits_per_word = 62
+let mask_all = (1 lsl bits_per_word) - 1
+
+type t = { width : int; words : int array }
+
+let nwords width = (width + bits_per_word - 1) / bits_per_word
+
+let create width =
+  if width < 0 then invalid_arg "Bitvec.create";
+  { width; words = Array.make (max 1 (nwords width)) 0 }
+
+let width t = t.width
+let copy t = { width = t.width; words = Array.copy t.words }
+
+(* Mask for the partial top word so that dropped bits never reappear. *)
+let top_mask t =
+  let rem = t.width mod bits_per_word in
+  if rem = 0 then mask_all else (1 lsl rem) - 1
+
+let normalize t =
+  let n = Array.length t.words in
+  if t.width > 0 then t.words.(n - 1) <- t.words.(n - 1) land top_mask t
+  else t.words.(0) <- 0
+
+let check_index t i = if i < 0 || i >= t.width then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check_index t i;
+  (t.words.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+
+let set t i =
+  check_index t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let reset t i =
+  check_index t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let fill_ones t =
+  Array.fill t.words 0 (Array.length t.words) mask_all;
+  normalize t
+
+let is_zero t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b =
+  a.width = b.width && Array.for_all2 (fun x y -> x = y) a.words b.words
+
+let popcount t =
+  let count_word w =
+    let rec loop acc w = if w = 0 then acc else loop (acc + 1) (w land (w - 1)) in
+    loop 0 w
+  in
+  Array.fold_left (fun acc w -> acc + count_word w) 0 t.words
+
+let check_same a b = if a.width <> b.width then invalid_arg "Bitvec: width mismatch"
+
+let or_in dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let and_in dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let andnot_in dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  done
+
+let blit ~src ~dst =
+  check_same src dst;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let intersects a b =
+  check_same a b;
+  let n = Array.length a.words in
+  let rec loop i = i < n && (a.words.(i) land b.words.(i) <> 0 || loop (i + 1)) in
+  loop 0
+
+let shift_left1 t ~carry_in =
+  let n = Array.length t.words in
+  let carry = ref (if carry_in then 1 else 0) in
+  for i = 0 to n - 1 do
+    let w = t.words.(i) in
+    t.words.(i) <- ((w lsl 1) lor !carry) land mask_all;
+    carry := (w lsr (bits_per_word - 1)) land 1
+  done;
+  normalize t
+
+let shift_right1 t ~carry_in =
+  let n = Array.length t.words in
+  let carry = ref (if carry_in then 1 else 0) in
+  for i = n - 1 downto 0 do
+    let w = t.words.(i) in
+    t.words.(i) <- (w lsr 1) lor (!carry lsl (bits_per_word - 1));
+    carry := w land 1
+  done;
+  (* carry_in enters at the true top bit of the width, not of the word *)
+  if carry_in && t.width > 0 then begin
+    normalize t;
+    let i = t.width - 1 in
+    t.words.(i / bits_per_word) <- t.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+  end
+  else normalize t
+
+let iter_set f t =
+  for i = 0 to Array.length t.words - 1 do
+    let w = t.words.(i) in
+    if w <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if (w lsr b) land 1 = 1 then f ((i * bits_per_word) + b)
+      done
+  done
+
+let of_bool_array bs =
+  let t = create (Array.length bs) in
+  Array.iteri (fun i b -> if b then set t i) bs;
+  t
+
+let to_bool_array t = Array.init t.width (get t)
+
+let pp fmt t =
+  for i = t.width - 1 downto 0 do
+    Format.pp_print_char fmt (if get t i then '1' else '0')
+  done

@@ -1,0 +1,55 @@
+(** Mutable arbitrary-width bit vectors.
+
+    These back both the software Shift-And engine and the bit vectors of
+    BV-STEs in the NBVA simulators.  Bit 0 is the least significant; bits at
+    or beyond [width] do not exist — shifts drop them, which is exactly the
+    overflow behaviour of a hardware BV of that width. *)
+
+type t
+
+val create : int -> t
+(** [create width] is an all-zero vector; [width >= 0]. *)
+
+val width : t -> int
+val copy : t -> t
+val get : t -> int -> bool
+(** Raises [Invalid_argument] when the index is out of bounds. *)
+
+val set : t -> int -> unit
+val reset : t -> int -> unit
+val clear : t -> unit
+(** Zero every bit. *)
+
+val fill_ones : t -> unit
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val popcount : t -> int
+
+(** {1 Bulk operations} — operands must have equal width. *)
+
+val or_in : t -> t -> unit
+(** [or_in dst src] is [dst <- dst lor src]. *)
+
+val and_in : t -> t -> unit
+val andnot_in : t -> t -> unit
+(** [andnot_in dst src] is [dst <- dst land (lnot src)]. *)
+
+val blit : src:t -> dst:t -> unit
+val intersects : t -> t -> bool
+(** [true] when the two vectors share a set bit (no allocation). *)
+
+val shift_left1 : t -> carry_in:bool -> unit
+(** In-place shift towards higher indices; bit 0 becomes [carry_in]; the
+    bit at [width-1] is dropped.  This is the paper's [shft(v)] and the
+    Shift-And transition [(states << 1) | maskInitial]. *)
+
+val shift_right1 : t -> carry_in:bool -> unit
+(** In-place shift towards lower indices; the top bit becomes [carry_in]. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** Visit set bits in increasing order. *)
+
+val of_bool_array : bool array -> t
+val to_bool_array : t -> bool array
+val pp : Format.formatter -> t -> unit
+(** Most significant bit first, as in the paper's figures. *)

@@ -1,0 +1,64 @@
+(* Standard Glushkov: number the class leaves (positions), compute
+   nullable / first / last, and emit follow edges last(a) x first(b) for
+   concatenations and last(a) x first(a) for stars.  Sets of positions are
+   kept as sorted int lists; sizes are modest (thousands at most) and the
+   construction is not on the simulation fast path. *)
+
+module ISet = Set.Make (Int)
+
+type info = { nullable : bool; first : ISet.t; last : ISet.t }
+
+let compile_unfolded r =
+  let labels = ref [] in
+  let count = ref 0 in
+  let edges = ref [] in
+  let new_position cc =
+    let id = !count in
+    incr count;
+    labels := cc :: !labels;
+    id
+  in
+  let connect lasts firsts =
+    ISet.iter (fun p -> ISet.iter (fun q -> edges := (p, q) :: !edges) firsts) lasts
+  in
+  let rec go r =
+    match r with
+    | Ast.Epsilon -> { nullable = true; first = ISet.empty; last = ISet.empty }
+    | Ast.Class cc ->
+        let p = new_position cc in
+        { nullable = false; first = ISet.singleton p; last = ISet.singleton p }
+    | Ast.Concat (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        connect ia.last ib.first;
+        {
+          nullable = ia.nullable && ib.nullable;
+          first = (if ia.nullable then ISet.union ia.first ib.first else ia.first);
+          last = (if ib.nullable then ISet.union ia.last ib.last else ib.last);
+        }
+    | Ast.Alt (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        {
+          nullable = ia.nullable || ib.nullable;
+          first = ISet.union ia.first ib.first;
+          last = ISet.union ia.last ib.last;
+        }
+    | Ast.Star a ->
+        let ia = go a in
+        connect ia.last ia.first;
+        { ia with nullable = true }
+    | Ast.Repeat (a, 0, Some 1) ->
+        (* optionality is part of the unfolded normal form *)
+        let ia = go a in
+        { ia with nullable = true }
+    | Ast.Repeat _ -> invalid_arg "Glushkov.compile_unfolded: residual bounded repetition"
+  in
+  let info = go r in
+  let labels = Array.of_list (List.rev !labels) in
+  Nfa.make ~labels ~edges:!edges
+    ~initial:(ISet.elements info.first)
+    ~finals:(ISet.elements info.last)
+    ~accepts_empty:info.nullable
+
+let compile r = compile_unfolded (Rewrite.unfold_all r)

@@ -1,0 +1,16 @@
+(** Glushkov position construction (paper §2.1, [15]).
+
+    Produces an epsilon-free {e homogeneous} NFA whose states are the
+    character-class occurrences (positions) of the regex: exactly the
+    automaton AP-style processors program into STEs.  Bounded repetitions
+    are unfolded first, so the state count equals
+    {!Ast.literal_width} of the unfolded regex. *)
+
+val compile : Ast.t -> Nfa.t
+(** [compile r] unfolds bounded repetitions ({!Rewrite.unfold_all}) and
+    builds the Glushkov automaton. *)
+
+val compile_unfolded : Ast.t -> Nfa.t
+(** Like {!compile} but requires the regex to contain no [Repeat] node;
+    raises [Invalid_argument] otherwise.  Useful when the caller already
+    controls the unfolding (e.g. threshold experiments). *)

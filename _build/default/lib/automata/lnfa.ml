@@ -1,0 +1,38 @@
+type t = { labels : Charclass.t array; finals : bool array }
+
+let of_line labels =
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Lnfa.of_line: empty line";
+  let finals = Array.make n false in
+  finals.(n - 1) <- true;
+  { labels; finals }
+
+let of_nfa nfa =
+  match Nfa.is_linear nfa with
+  | None -> None
+  | Some order ->
+      let labels = Array.map (fun q -> nfa.Nfa.labels.(q)) order in
+      let finals = Array.map (fun q -> nfa.Nfa.finals.(q)) order in
+      Some { labels; finals }
+
+let of_ast r = of_nfa (Glushkov.compile r)
+
+let to_nfa t =
+  let n = Array.length t.labels in
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  let final_states =
+    Array.to_list (Array.mapi (fun i f -> (i, f)) t.finals)
+    |> List.filter_map (fun (i, f) -> if f then Some i else None)
+  in
+  Nfa.make ~labels:t.labels ~edges ~initial:[ 0 ] ~finals:final_states ~accepts_empty:false
+
+let num_states t = Array.length t.labels
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>";
+  Array.iteri
+    (fun i cc ->
+      if i > 0 then Format.fprintf fmt " -> ";
+      Format.fprintf fmt "q%d:%a%s" i Charclass.pp cc (if t.finals.(i) then "(f)" else ""))
+    t.labels;
+  Format.fprintf fmt "@]"

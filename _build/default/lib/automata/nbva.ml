@@ -1,0 +1,199 @@
+type read_action = Read_exact of int | Read_all
+
+type ste =
+  | Plain of Charclass.t
+  | Bv of { cc : Charclass.t; size : int; read : read_action }
+
+type t = {
+  stes : ste array;
+  succs : int array array;
+  preds : int array array;
+  initial : bool array;
+  finals : bool array;
+  accepts_empty : bool;
+}
+
+let cc_of = function Plain cc -> cc | Bv { cc; _ } -> cc
+let num_states t = Array.length t.stes
+
+let num_bv_stes t =
+  Array.fold_left (fun acc s -> match s with Bv _ -> acc + 1 | Plain _ -> acc) 0 t.stes
+
+let total_bv_bits t =
+  Array.fold_left (fun acc s -> match s with Bv { size; _ } -> acc + size | Plain _ -> acc) 0 t.stes
+
+(* Generalised Glushkov: leaves are plain classes or whole BV chunks.  A BV
+   chunk cc{m} (exact, m >= 2) is non-nullable; cc{0,k} is nullable — its
+   nullability realises the 0-repetition bypass edge for free. *)
+
+module ISet = Set.Make (Int)
+
+type info = { nullable : bool; first : ISet.t; last : ISet.t }
+
+let of_ast r =
+  let stes = ref [] in
+  let count = ref 0 in
+  let edges = ref [] in
+  let new_state ste =
+    let id = !count in
+    incr count;
+    stes := ste :: !stes;
+    id
+  in
+  let connect lasts firsts =
+    ISet.iter (fun p -> ISet.iter (fun q -> edges := (p, q) :: !edges) firsts) lasts
+  in
+  let leaf ste nullable =
+    let p = new_state ste in
+    { nullable; first = ISet.singleton p; last = ISet.singleton p }
+  in
+  let rec go r =
+    match r with
+    | Ast.Epsilon -> { nullable = true; first = ISet.empty; last = ISet.empty }
+    | Ast.Class cc -> leaf (Plain cc) false
+    | Ast.Concat (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        connect ia.last ib.first;
+        {
+          nullable = ia.nullable && ib.nullable;
+          first = (if ia.nullable then ISet.union ia.first ib.first else ia.first);
+          last = (if ib.nullable then ISet.union ia.last ib.last else ib.last);
+        }
+    | Ast.Alt (a, b) ->
+        let ia = go a in
+        let ib = go b in
+        {
+          nullable = ia.nullable || ib.nullable;
+          first = ISet.union ia.first ib.first;
+          last = ISet.union ia.last ib.last;
+        }
+    | Ast.Star a ->
+        let ia = go a in
+        connect ia.last ia.first;
+        { ia with nullable = true }
+    | Ast.Repeat (a, 0, Some 1) ->
+        (* plain optionality: no counter needed *)
+        let ia = go a in
+        { ia with nullable = true }
+    | Ast.Repeat (Ast.Class cc, m, Some n) when m = n && m >= 1 ->
+        leaf (Bv { cc; size = m; read = Read_exact m }) false
+    | Ast.Repeat (Ast.Class cc, 0, Some k) when k >= 2 ->
+        leaf (Bv { cc; size = k; read = Read_all }) true
+    | Ast.Repeat _ ->
+        invalid_arg "Nbva.of_ast: residual repetition not of the form cc{m} or cc{0,k}"
+  in
+  let info = go r in
+  let stes = Array.of_list (List.rev !stes) in
+  let n = Array.length stes in
+  let succ_lists = Array.make n [] and pred_lists = Array.make n [] in
+  List.iter
+    (fun (p, q) ->
+      succ_lists.(p) <- q :: succ_lists.(p);
+      pred_lists.(q) <- p :: pred_lists.(q))
+    !edges;
+  let finish l = Array.of_list (List.sort_uniq compare l) in
+  let initial = Array.make n false and finals = Array.make n false in
+  ISet.iter (fun q -> initial.(q) <- true) info.first;
+  ISet.iter (fun q -> finals.(q) <- true) info.last;
+  {
+    stes;
+    succs = Array.map finish succ_lists;
+    preds = Array.map finish pred_lists;
+    initial;
+    finals;
+    accepts_empty = info.nullable;
+  }
+
+let compile ~threshold r =
+  of_ast (Rewrite.split_bounded (Rewrite.unfold_for_nbva ~threshold r))
+
+(* Execution. *)
+
+type run_state = {
+  out : bool array;  (* output activation after the last symbol *)
+  next_out : bool array;  (* scratch double buffer *)
+  vectors : Bitvec.t option array;  (* per-STE bit vector, None for Plain *)
+}
+
+let start t =
+  let n = num_states t in
+  {
+    out = Array.make n false;
+    next_out = Array.make n false;
+    vectors =
+      Array.map (function Bv { size; _ } -> Some (Bitvec.create size) | Plain _ -> None) t.stes;
+  }
+
+let step t st c =
+  let n = num_states t in
+  let hit = ref false in
+  for q = 0 to n - 1 do
+    let avail = t.initial.(q) || Array.exists (fun j -> st.out.(j)) t.preds.(q) in
+    let active =
+      match t.stes.(q) with
+      | Plain cc -> avail && Charclass.mem cc c
+      | Bv { cc; read; size = _ } -> (
+          let v = match st.vectors.(q) with Some v -> v | None -> assert false in
+          if Charclass.mem cc c then begin
+            Bitvec.shift_left1 v ~carry_in:false;
+            if avail then Bitvec.set v 0
+          end
+          else Bitvec.clear v;
+          match read with
+          | Read_exact m -> Bitvec.get v (m - 1)
+          | Read_all -> not (Bitvec.is_zero v))
+    in
+    st.next_out.(q) <- active;
+    if active && t.finals.(q) then hit := true
+  done;
+  Array.blit st.next_out 0 st.out 0 n;
+  !hit
+
+let bv_active_count t st =
+  let acc = ref 0 in
+  Array.iteri
+    (fun q ste ->
+      match (ste, st.vectors.(q)) with
+      | Bv _, Some v when not (Bitvec.is_zero v) -> incr acc
+      | _ -> ())
+    t.stes;
+  !acc
+
+let active_count _t st = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 st.out
+
+let outputs st = st.out
+let vectors st = st.vectors
+
+let reports t st =
+  let acc = ref 0 in
+  Array.iteri (fun q final -> if final && st.out.(q) then incr acc) t.finals;
+  !acc
+
+let match_ends t input =
+  let st = start t in
+  let acc = ref [] in
+  String.iteri (fun p c -> if step t st c then acc := p :: !acc) input;
+  List.rev !acc
+
+let count_matches t input = List.length (match_ends t input)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>NBVA with %d states (%d BV-STEs, %d BV bits):@," (num_states t)
+    (num_bv_stes t) (total_bv_bits t);
+  Array.iteri
+    (fun q ste ->
+      let kind =
+        match ste with
+        | Plain cc -> Format.asprintf "%a" Charclass.pp cc
+        | Bv { cc; size; read } ->
+            Format.asprintf "%a{bv %d, %s}" Charclass.pp cc size
+              (match read with Read_exact m -> Printf.sprintf "r(%d)" m | Read_all -> "rAll")
+      in
+      Format.fprintf fmt "  q%d%s%s: %s -> [%s]@," q
+        (if t.initial.(q) then "(i)" else "")
+        (if t.finals.(q) then "(f)" else "")
+        kind
+        (String.concat "," (Array.to_list (Array.map string_of_int t.succs.(q)))))
+    t.stes;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,75 @@
+(** Nondeterministic bit vector automata (paper §2.1, [20, 22]).
+
+    An NBVA extends a homogeneous NFA with states that carry a bit vector:
+    a {e BV-STE} compresses the unfolded chain of a single-class bounded
+    repetition [cc{m}] or [cc{0,k}] into one state plus an [m]- or [k]-bit
+    vector.  Bit [j] (0-based) set means "the chain has consumed [j+1]
+    repetitions in some run".
+
+    Per input symbol, a BV-STE behaves as the paper's BV actions compose:
+    if the symbol matches its class the vector shifts left ([shft]) and the
+    first bit is set when a predecessor fired on the previous symbol
+    ([set1]); otherwise the vector clears (the chain dies, which is the
+    hardware's reset-on-inactive plus overflow check).  The read action
+    gates the state's output: [r(m)] succeeds when bit [m-1] is set,
+    [rAll] when any bit is set. *)
+
+type read_action = Read_exact of int | Read_all
+
+type ste =
+  | Plain of Charclass.t
+  | Bv of { cc : Charclass.t; size : int; read : read_action }
+
+type t = {
+  stes : ste array;
+  succs : int array array;
+  preds : int array array;
+  initial : bool array;
+  finals : bool array;
+  accepts_empty : bool;
+}
+
+val of_ast : Ast.t -> t
+(** Generalised Glushkov construction over an AST whose residual [Repeat]
+    nodes are exactly the vector-implemented ones: every remaining bounded
+    repetition must have a single-class body and be of the form [cc{m}]
+    (exact) or [cc{0,k}] (optional run) — the shapes produced by
+    {!Rewrite.unfold_for_nbva} followed by {!Rewrite.split_bounded}.
+    Raises [Invalid_argument] on any other residual repetition. *)
+
+val compile : threshold:int -> Ast.t -> t
+(** [of_ast] after the two rewriting passes, i.e. the full §4.1 pipeline
+    (without hardware splitting, which lives in the compiler library). *)
+
+val num_states : t -> int
+val num_bv_stes : t -> int
+val total_bv_bits : t -> int
+val cc_of : ste -> Charclass.t
+
+(** {1 Execution} — same match conventions as {!Nfa.run}. *)
+
+type run_state
+
+val start : t -> run_state
+val step : t -> run_state -> char -> bool
+(** [true] when a match ends at this symbol. *)
+
+val bv_active_count : t -> run_state -> int
+(** Number of BV-STEs whose vector is currently nonzero — the trigger count
+    of the bit-vector-processing phase. *)
+
+val outputs : run_state -> bool array
+(** Per-STE output activation after the last {!step} (do not mutate); the
+    hardware simulator reads this to attribute activity to tiles. *)
+
+val vectors : run_state -> Bitvec.t option array
+(** Per-STE bit vectors ([None] for plain STEs; do not mutate). *)
+
+val reports : t -> run_state -> int
+(** Number of final STEs active after the last step — the hardware's
+    report count for this symbol. *)
+
+val active_count : t -> run_state -> int
+val match_ends : t -> string -> int list
+val count_matches : t -> string -> int
+val pp : Format.formatter -> t -> unit

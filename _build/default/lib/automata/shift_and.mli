@@ -1,0 +1,56 @@
+(** The Shift-And bit-parallel algorithm (paper §2.1, Fig 2, [3]).
+
+    Executes one or several LNFAs with shift / AND / OR word operations.
+    This is both the reference software engine for LNFA-mode consistency
+    checks and the functional model of RAP's LNFA tiles: the packed layout
+    of {!of_bin} is exactly the regex-sliced bin mapping of §3.2.
+
+    Bit [i] of the state vector is state [qi]; patterns packed into one
+    engine occupy disjoint contiguous bit ranges.  A bit shifted out of one
+    pattern's range leaks into the next pattern's initial position, which
+    is harmless because initial positions are re-armed by [maskInitial] on
+    every step (unanchored matching). *)
+
+type t
+
+val of_lnfa : Lnfa.t -> t
+val of_line : Charclass.t array -> t
+
+val of_bin : Charclass.t array list -> t
+(** Pack several single-final lines into one engine (a bin). *)
+
+val width : t -> int
+(** Total number of state bits. *)
+
+val num_patterns : t -> int
+
+(** {1 Execution} *)
+
+type state
+
+val start : t -> state
+val step : t -> state -> char -> bool
+(** Advance by one symbol; [true] when some final state is active, i.e. a
+    match ends at this symbol. *)
+
+val active_count : t -> state -> int
+(** Number of active states, for activity/energy statistics. *)
+
+val state_vector : state -> Bitvec.t
+(** The packed state bits (do not mutate); bit layout follows the packing
+    order of {!of_bin}. *)
+
+val final_hits : t -> state -> int
+(** Number of active final states — the hardware's report count. *)
+
+val pattern_offsets : t -> int array
+(** Start bit of each packed pattern, in packing order. *)
+
+val run : t -> string -> int list
+(** Match end positions, ascending (same convention as {!Nfa.run}). *)
+
+val count_matches : t -> string -> int
+
+val trace : t -> string -> (Bitvec.t * bool) list
+(** Per-symbol (state vector after update, match?) — reproduces the
+    worked execution of the paper's Fig 2. *)

@@ -1,0 +1,1 @@
+lib/compiler/binning.ml: Array Circuit List Program

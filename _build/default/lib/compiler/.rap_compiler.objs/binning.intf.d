@@ -1,0 +1,1 @@
+lib/compiler/binning.mli: Program

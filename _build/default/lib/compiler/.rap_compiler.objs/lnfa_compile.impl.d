@@ -1,0 +1,1 @@
+lib/compiler/lnfa_compile.ml: Array Ast Circuit Encoding List Program Rewrite

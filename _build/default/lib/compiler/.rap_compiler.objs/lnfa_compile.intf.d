@@ -1,0 +1,1 @@
+lib/compiler/lnfa_compile.mli: Ast Program

@@ -1,0 +1,1 @@
+lib/compiler/mapper.ml: Array Binning Circuit Format List Nbva Printf Program String

@@ -1,0 +1,1 @@
+lib/compiler/mapper.mli: Binning Format Program

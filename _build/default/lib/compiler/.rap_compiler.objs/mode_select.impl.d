@@ -1,0 +1,1 @@
+lib/compiler/mode_select.ml: Ast Lnfa_compile Nbva_compile Nfa_compile Option Parser Program Rewrite

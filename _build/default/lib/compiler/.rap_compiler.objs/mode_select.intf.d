@@ -1,0 +1,1 @@
+lib/compiler/mode_select.mli: Ast Program

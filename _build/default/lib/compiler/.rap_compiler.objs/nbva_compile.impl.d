@@ -1,0 +1,1 @@
+lib/compiler/nbva_compile.ml: Array Ast Circuit Encoding List Nbva Program Rewrite

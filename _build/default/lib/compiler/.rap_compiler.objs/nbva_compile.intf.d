@@ -1,0 +1,1 @@
+lib/compiler/nbva_compile.mli: Ast Program

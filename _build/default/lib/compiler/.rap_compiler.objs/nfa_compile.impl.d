@@ -1,0 +1,1 @@
+lib/compiler/nfa_compile.ml: Array Circuit Encoding Glushkov Hashtbl List Nfa Program

@@ -1,0 +1,1 @@
+lib/compiler/nfa_compile.mli: Ast Charclass Program

@@ -1,0 +1,1 @@
+lib/compiler/program.ml: Array Ast Charclass Circuit Format List Nbva Nfa

@@ -1,0 +1,1 @@
+lib/compiler/program.mli: Ast Charclass Format Nbva Nfa

@@ -1,0 +1,331 @@
+type piece =
+  | P_unit of { unit_id : int; local_tile : int }
+  | P_bin of { bin_id : int; bin_tile : int }
+
+type tile_mode = T_nfa | T_nbva | T_lnfa
+
+type placed_tile = { mode : tile_mode; pieces : piece list }
+
+type placement = {
+  units : Program.compiled array;
+  bins : Binning.bin array;
+  arrays : placed_tile array array;
+}
+
+(* Resource demand of one tile piece. *)
+type demand = {
+  d_mode : tile_mode;
+  d_cols : int;  (* columns (NFA/NBVA) or state slots (LNFA) *)
+  d_cap : int;  (* tile capacity in the same unit *)
+  d_bv_bits : int;
+  d_bits_cap : int;
+  d_has_r : bool;
+  d_has_rall : bool;
+  d_exclusive : bool;  (* multi-tile bins own their tiles *)
+}
+
+(* Mutable tile under construction. *)
+type building = {
+  b_mode : tile_mode;
+  b_cap : int;
+  mutable b_cols : int;
+  mutable b_bits : int;
+  b_bits_cap : int;
+  mutable b_has_r : bool;
+  mutable b_has_rall : bool;
+  mutable b_exclusive : bool;
+  mutable b_pieces : piece list;
+}
+
+let demand_of_unit ~tile_cols (c : Program.compiled) local_tile =
+  match c.Program.kind with
+  | Program.U_nfa u ->
+      {
+        d_mode = T_nfa;
+        d_cols = u.Program.tile_cols.(local_tile);
+        d_cap = tile_cols;
+        d_bv_bits = 0;
+        d_bits_cap = Circuit.max_bv_bits_per_tile;
+        d_has_r = false;
+        d_has_rall = false;
+        d_exclusive = false;
+      }
+  | Program.U_nbva u ->
+      let t = u.Program.ntiles.(local_tile) in
+      let has_r, has_rall =
+        List.fold_left
+          (fun (r, ra) (a : Program.bv_alloc) ->
+            match a.Program.read with
+            | Nbva.Read_exact _ -> (true, ra)
+            | Nbva.Read_all -> (r, true))
+          (false, false) t.Program.bvs
+      in
+      {
+        d_mode = T_nbva;
+        d_cols = t.Program.cc_cols + t.Program.set1_cols + t.Program.bv_cols;
+        d_cap = tile_cols;
+        d_bv_bits =
+          List.fold_left (fun acc (a : Program.bv_alloc) -> acc + a.Program.size) 0 t.Program.bvs;
+        d_bits_cap = u.Program.bv_bits_cap;
+        d_has_r = has_r;
+        d_has_rall = has_rall;
+        d_exclusive = false;
+      }
+  | Program.U_lnfa _ -> invalid_arg "Mapper: LNFA units are placed through bins"
+
+let fits (b : building) (d : demand) =
+  b.b_mode = d.d_mode && b.b_cap = d.d_cap
+  && b.b_bits_cap = d.d_bits_cap
+  && (not b.b_exclusive) && (not d.d_exclusive)
+  && b.b_cols + d.d_cols <= b.b_cap
+  && b.b_bits + d.d_bv_bits <= b.b_bits_cap
+  && (not (b.b_has_r && d.d_has_rall))
+  && not (b.b_has_rall && d.d_has_r)
+
+let add_to (b : building) (d : demand) piece =
+  b.b_cols <- b.b_cols + d.d_cols;
+  b.b_bits <- b.b_bits + d.d_bv_bits;
+  b.b_has_r <- b.b_has_r || d.d_has_r;
+  b.b_has_rall <- b.b_has_rall || d.d_has_rall;
+  b.b_exclusive <- b.b_exclusive || d.d_exclusive;
+  b.b_pieces <- piece :: b.b_pieces
+
+let new_tile (d : demand) piece =
+  {
+    b_mode = d.d_mode;
+    b_cap = d.d_cap;
+    b_cols = d.d_cols;
+    b_bits = d.d_bv_bits;
+    b_bits_cap = d.d_bits_cap;
+    b_has_r = d.d_has_r;
+    b_has_rall = d.d_has_rall;
+    b_exclusive = d.d_exclusive;
+    b_pieces = [ piece ];
+  }
+
+(* A block: all pieces of one unit or one bin, placed atomically into one
+   array. *)
+type block = { demands : (demand * piece) list; tiles_ub : int }
+
+let block_of_unit ~tile_cols units id =
+  let c = units.(id) in
+  let n = Program.num_tiles c.Program.kind in
+  {
+    demands =
+      List.init n (fun i ->
+          (demand_of_unit ~tile_cols c i, P_unit { unit_id = id; local_tile = i }));
+    tiles_ub = n;
+  }
+
+let block_of_bin (bins : Binning.bin array) id =
+  let b = bins.(id) in
+  (* LNFA demands are expressed in state slots; single-tile bins are just
+     a group of regions and may share a tile with other such bins *)
+  let m = List.length b.Binning.members in
+  let single = b.Binning.tiles = 1 in
+  {
+    demands =
+      List.init b.Binning.tiles (fun i ->
+          ( {
+              d_mode = T_lnfa;
+              d_cols = m * b.Binning.region_states;
+              d_cap = Binning.capacity_per_tile ~single_code:b.Binning.single_code;
+              d_bv_bits = 0;
+              d_bits_cap = Circuit.max_bv_bits_per_tile;
+              d_has_r = false;
+              d_has_rall = false;
+              d_exclusive = not single;
+            },
+            P_bin { bin_id = id; bin_tile = i } ));
+    tiles_ub = b.Binning.tiles;
+  }
+
+(* Try to place a block into an array (a mutable list of building tiles);
+   returns the new tile list on success, None when the array cannot host
+   it.  The attempt works on copies, so failure leaves the array intact. *)
+let try_place (array_tiles : building list) block =
+  let copies =
+    List.map
+      (fun b ->
+        {
+          b_mode = b.b_mode;
+          b_cap = b.b_cap;
+          b_cols = b.b_cols;
+          b_bits = b.b_bits;
+          b_bits_cap = b.b_bits_cap;
+          b_has_r = b.b_has_r;
+          b_has_rall = b.b_has_rall;
+          b_exclusive = b.b_exclusive;
+          b_pieces = b.b_pieces;
+        })
+      array_tiles
+  in
+  let tiles = ref copies in
+  let count = ref (List.length copies) in
+  let place (d, piece) =
+    let rec find = function
+      | [] ->
+          if !count >= Circuit.tiles_per_array then false
+          else begin
+            tiles := new_tile d piece :: !tiles;
+            incr count;
+            true
+          end
+      | b :: rest ->
+          if fits b d then begin
+            add_to b d piece;
+            true
+          end
+          else find rest
+    in
+    find !tiles
+  in
+  if List.for_all place block.demands then Some !tiles else None
+
+let map_units ?(tile_cols = Circuit.tile_cam_cols) ~(params : Program.params) units =
+  (* collect LNFA lines and bin them *)
+  let lines = ref [] in
+  Array.iteri
+    (fun id (c : Program.compiled) ->
+      match c.Program.kind with
+      | Program.U_lnfa u ->
+          List.iter (fun line -> lines := (id, line) :: !lines) u.Program.lines
+      | Program.U_nfa _ | Program.U_nbva _ -> ())
+    units;
+  let bins = Array.of_list (Binning.pack ~max_bin_size:params.Program.bin_size !lines) in
+  (* blocks, largest first *)
+  let blocks = ref [] in
+  Array.iteri
+    (fun id (c : Program.compiled) ->
+      match c.Program.kind with
+      | Program.U_lnfa _ -> ()
+      | Program.U_nfa _ | Program.U_nbva _ ->
+          let b = block_of_unit ~tile_cols units id in
+          if b.tiles_ub > Circuit.tiles_per_array then
+            invalid_arg
+              (Printf.sprintf "Mapper: unit %d (%s) needs %d tiles, exceeding one array" id
+                 c.Program.source b.tiles_ub);
+          blocks := b :: !blocks)
+    units;
+  Array.iteri (fun id _ -> blocks := block_of_bin bins id :: !blocks) bins;
+  let sorted = List.sort (fun a b -> compare b.tiles_ub a.tiles_ub) !blocks in
+  let arrays : building list ref list ref = ref [] in
+  List.iter
+    (fun block ->
+      let rec attempt = function
+        | [] ->
+            let fresh = ref [] in
+            (match try_place [] block with
+            | Some tiles -> fresh := tiles
+            | None -> invalid_arg "Mapper: block does not fit an empty array");
+            arrays := !arrays @ [ fresh ]
+        | ar :: rest -> (
+            match try_place !ar block with
+            | Some tiles -> ar := tiles
+            | None -> attempt rest)
+      in
+      attempt !arrays)
+    sorted;
+  let finish (b : building) = { mode = b.b_mode; pieces = List.rev b.b_pieces } in
+  {
+    units;
+    bins;
+    arrays =
+      Array.of_list (List.map (fun ar -> Array.of_list (List.rev_map finish !ar)) !arrays);
+  }
+
+let array_of_unit p id =
+  let found = ref None in
+  Array.iteri
+    (fun ai tiles ->
+      if !found = None then
+        Array.iter
+          (fun t ->
+            List.iter
+              (function
+                | P_unit { unit_id; _ } when unit_id = id -> found := Some ai
+                | P_unit _ | P_bin _ -> ())
+              t.pieces)
+          tiles)
+    p.arrays;
+  !found
+
+type stats = {
+  num_arrays : int;
+  num_tiles : int;
+  cols_used : int;
+  col_utilisation : float;
+  tile_utilisation : float;
+}
+
+let stats p =
+  let tiles = ref 0 and cols = ref 0 in
+  Array.iter
+    (fun arr ->
+      tiles := !tiles + Array.length arr;
+      Array.iter
+        (fun t ->
+          List.iter
+            (fun piece ->
+              match piece with
+              | P_unit { unit_id; local_tile } ->
+                  cols := !cols + Program.cols_of_tile p.units.(unit_id).Program.kind local_tile
+              | P_bin { bin_id; bin_tile } ->
+                  let b = p.bins.(bin_id) in
+                  let per_state = if b.Binning.single_code then 1 else 2 in
+                  (* states actually stored in this bin tile *)
+                  let lo = bin_tile * b.Binning.region_states in
+                  List.iter
+                    (fun (_, l) ->
+                      let len = Array.length l.Program.labels in
+                      let here = max 0 (min b.Binning.region_states (len - lo)) in
+                      cols := !cols + (per_state * here))
+                    b.Binning.members)
+            t.pieces)
+        arr)
+    p.arrays;
+  let num_arrays = Array.length p.arrays in
+  {
+    num_arrays;
+    num_tiles = !tiles;
+    cols_used = !cols;
+    col_utilisation =
+      (if !tiles = 0 then 1.
+       else float_of_int !cols /. float_of_int (!tiles * Circuit.tile_cam_cols));
+    tile_utilisation =
+      (if num_arrays = 0 then 1.
+       else float_of_int !tiles /. float_of_int (num_arrays * Circuit.tiles_per_array));
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "arrays=%d tiles=%d cols=%d col-util=%.1f%% tile-util=%.1f%%" s.num_arrays
+    s.num_tiles s.cols_used (100. *. s.col_utilisation) (100. *. s.tile_utilisation)
+
+let pp_placement fmt p =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun ai tiles ->
+      Format.fprintf fmt "array %d (%d tiles):@," ai (Array.length tiles);
+      Array.iteri
+        (fun ti (t : placed_tile) ->
+          let mode =
+            match t.mode with T_nfa -> "NFA " | T_nbva -> "NBVA" | T_lnfa -> "LNFA"
+          in
+          let pieces =
+            List.map
+              (fun piece ->
+                match piece with
+                | P_unit { unit_id; local_tile } ->
+                    Printf.sprintf "u%d.%d(%s)" unit_id local_tile
+                      (let src = p.units.(unit_id).Program.source in
+                       if String.length src > 18 then String.sub src 0 18 ^ ".." else src)
+                | P_bin { bin_id; bin_tile } ->
+                    let b = p.bins.(bin_id) in
+                    Printf.sprintf "bin%d.%d(%d lines)" bin_id bin_tile
+                      (List.length b.Binning.members))
+              t.pieces
+          in
+          Format.fprintf fmt "  tile %2d [%s] %s@," ti mode (String.concat " " pieces))
+        tiles)
+    p.arrays;
+  Format.fprintf fmt "%a@]" pp_stats (stats p)

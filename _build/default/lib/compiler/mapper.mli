@@ -1,0 +1,59 @@
+(** Greedy hardware mapping (paper §4.3).
+
+    The mapper packs at {e tile-piece} granularity: every compiled unit
+    (and every LNFA bin) contributes a sequence of tile pieces; pieces of
+    different units may share a physical tile when the mode and resource
+    constraints allow, and all pieces of one unit land in one array
+    (inter-array communication does not exist, §3.3).  Blocks are placed
+    first-fit-decreasing by tile demand.
+
+    Sharing rules per mode:
+    {ul
+    {- NFA pieces share by columns;}
+    {- NBVA pieces share by columns and BV bits, and never mix [r(n)] with
+       [rAll] reads in one tile;}
+    {- LNFA bins own their tiles (the region layout is bin-wide).}}
+
+    The paper reports >90% utilisation from its grouping mapper; {!stats}
+    exposes the same measure. *)
+
+type piece =
+  | P_unit of { unit_id : int; local_tile : int }
+  | P_bin of { bin_id : int; bin_tile : int }
+
+type tile_mode = T_nfa | T_nbva | T_lnfa
+
+type placed_tile = { mode : tile_mode; pieces : piece list }
+
+type placement = {
+  units : Program.compiled array;
+  bins : Binning.bin array;
+  arrays : placed_tile array array;  (** Each inner array has <= 16 tiles. *)
+}
+
+val map_units :
+  ?tile_cols:int -> params:Program.params -> Program.compiled array -> placement
+(** [tile_cols] (default 128) is the column capacity of a tile — the CA
+    baseline maps onto 256-column tiles.  Raises [Invalid_argument] when
+    some unit alone exceeds one array. *)
+
+val array_of_unit : placement -> int -> int option
+(** Which array hosts the unit (None for LNFA units, whose lines live in
+    bins possibly across arrays). *)
+
+(** {1 Reporting} *)
+
+type stats = {
+  num_arrays : int;
+  num_tiles : int;
+  cols_used : int;
+  col_utilisation : float;  (** cols used / (tiles * tile capacity). *)
+  tile_utilisation : float;  (** tiles used / (arrays * 16). *)
+}
+
+val stats : placement -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp_placement : Format.formatter -> placement -> unit
+(** Human-readable floorplan: one line per tile with its mode, occupancy
+    and the units/bins whose pieces it hosts. *)

@@ -1,0 +1,88 @@
+type engine_kind = Nfa_engine | Nbva_engine | Shift_and_engine
+
+type engine =
+  | M_nfa of Nfa.t
+  | M_nbva of Nbva.t
+  | M_sa of Shift_and.t list  (* one engine per line group *)
+
+type matcher = { engine : engine; anchored_start : bool; anchored_end : bool }
+
+let default_params = Program.default_params
+
+let engine_of_ast ?(params = default_params) ast =
+  match Mode_select.decide ~params ast with
+  | Mode_select.Nbva_mode -> M_nbva (Nbva.compile ~threshold:params.Program.unfold_threshold ast)
+  | Mode_select.Lnfa_mode -> (
+      match Lnfa_compile.try_compile ~params ast with
+      | Some u ->
+          M_sa
+            [ Shift_and.of_bin (List.map (fun l -> l.Program.labels) u.Program.lines) ]
+      | None -> M_nfa (Glushkov.compile ast))
+  | Mode_select.Nfa_mode -> M_nfa (Glushkov.compile ast)
+
+let matcher_of_ast ?params ?(anchored_start = false) ?(anchored_end = false) ast =
+  (* anchored matching runs on the NFA reference engine (the bit-parallel
+     engines implement the hardware's always-armed unanchored semantics) *)
+  let engine =
+    if anchored_start then M_nfa (Glushkov.compile ast) else engine_of_ast ?params ast
+  in
+  { engine; anchored_start; anchored_end }
+
+let matcher ?params src =
+  match Parser.parse_result src with
+  | Error e -> Error e
+  | Ok p -> (
+      match
+        matcher_of_ast ?params ~anchored_start:p.Parser.anchored_start
+          ~anchored_end:p.Parser.anchored_end p.Parser.ast
+      with
+      | m -> Ok m
+      | exception Invalid_argument e -> Error e)
+
+let matcher_exn ?params src =
+  match matcher ?params src with Ok m -> m | Error e -> invalid_arg ("Rap.matcher: " ^ e)
+
+let engine_kind m =
+  match m.engine with
+  | M_nfa _ -> Nfa_engine
+  | M_nbva _ -> Nbva_engine
+  | M_sa _ -> Shift_and_engine
+
+let find_all m input =
+  let ends =
+    match m.engine with
+    | M_nfa nfa -> Nfa.match_ends ~anchored_start:m.anchored_start nfa input
+    | M_nbva nbva -> Nbva.match_ends nbva input
+    | M_sa engines ->
+        List.concat_map (fun sa -> Shift_and.run sa input) engines |> List.sort_uniq compare
+  in
+  if m.anchored_end then List.filter (fun p -> p = String.length input - 1) ends else ends
+
+let count_matches m input = List.length (find_all m input)
+let is_match m input = find_all m input <> []
+
+let rap_arch ?(bv_depth = default_params.Program.bv_depth) () = Arch.rap ~bv_depth
+
+let simulate ?arch ?(params = default_params) ~regexes ~input () =
+  let arch = match arch with Some a -> a | None -> rap_arch ~bv_depth:params.Program.bv_depth () in
+  let parsed =
+    List.filter_map
+      (fun src ->
+        match Parser.parse_result src with
+        | Ok p -> Some (src, p.Parser.ast)
+        | Error _ -> None)
+      regexes
+  in
+  if parsed = [] then Error "no regex parsed"
+  else
+    let units, errors = Runner.compile_for arch ~params parsed in
+    if units = [] then
+      Error
+        (match errors with
+        | (src, msg) :: _ -> Printf.sprintf "no regex compiled (%s: %s)" src msg
+        | [] -> "no regex compiled")
+    else
+      let placement = Runner.place arch ~params units in
+      Ok (Runner.run arch ~params placement ~input)
+
+let version = "1.0.0"

@@ -1,0 +1,77 @@
+(** RAP — Reconfigurable Automata Processor: public API.
+
+    This is the convenience facade over the full stack:
+
+    {ul
+    {- {!Charclass}, {!Ast}, {!Parser}, {!Rewrite} — regexes;}
+    {- {!Nfa}, {!Glushkov}, {!Lnfa}, {!Shift_and}, {!Nbva} — automata and
+       reference software engines;}
+    {- {!Mode_select}, {!Nbva_compile}, {!Lnfa_compile}, {!Binning},
+       {!Mapper} — the regex-to-hardware compiler;}
+    {- {!Arch}, {!Engine}, {!Runner} — the cycle-level simulator of RAP
+       and the CAMA / CA / BVAP baselines;}
+    {- {!Benchmarks}, {!Experiments} — workloads and the paper's
+       evaluation.}}
+
+    The two entry points most applications need:
+
+    {[
+      (* software matching with the best engine for the regex *)
+      let m = Rap.matcher_exn "b(a{7}|c{5})b" in
+      Rap.find_all m "xxbcccccbyy"   (* = [8] *)
+
+      (* hardware simulation of a rule set *)
+      let report = Rap.simulate ~regexes:[ "a{30}b"; "evil.{0,16}sig" ]
+                     ~input:(String.make 10_000 'a') ()
+    ]} *)
+
+(** {1 Software matching}
+
+    A {!matcher} wraps the reference engine the compiler's decision graph
+    picks for the regex: Shift-And for linear regexes, the NBVA engine for
+    counted repetitions, the Glushkov NFA otherwise.  Matching is
+    unanchored; a match is reported at each input position where some
+    final state is active (leftmost-longest extraction is out of scope, as
+    for the hardware). *)
+
+type matcher
+
+type engine_kind = Nfa_engine | Nbva_engine | Shift_and_engine
+
+val matcher : ?params:Program.params -> string -> (matcher, string) result
+(** Honours [^] and [$] anchors: an anchored-start pattern runs on the
+    NFA reference engine with initial states armed only at offset 0; an
+    anchored-end pattern reports only matches ending at the last input
+    position. *)
+
+val matcher_exn : ?params:Program.params -> string -> matcher
+
+val matcher_of_ast :
+  ?params:Program.params ->
+  ?anchored_start:bool ->
+  ?anchored_end:bool ->
+  Ast.t ->
+  matcher
+val engine_kind : matcher -> engine_kind
+val find_all : matcher -> string -> int list
+(** Match end positions, ascending. *)
+
+val count_matches : matcher -> string -> int
+val is_match : matcher -> string -> bool
+
+(** {1 Hardware simulation} *)
+
+val simulate :
+  ?arch:Arch.t ->
+  ?params:Program.params ->
+  regexes:string list ->
+  input:string ->
+  unit ->
+  (Runner.report, string) result
+(** Compile, map and run a rule set on the simulated processor (default:
+    RAP with default parameters).  Returns [Error] when no regex parses or
+    compiles. *)
+
+val default_params : Program.params
+val rap_arch : ?bv_depth:int -> unit -> Arch.t
+val version : string

@@ -1,0 +1,1 @@
+lib/eval/ablations.ml: Arch Benchmarks Energy Experiments Float List Mode_select Printf Program Runner Texttable

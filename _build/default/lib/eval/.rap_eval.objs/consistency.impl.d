@@ -1,0 +1,1 @@
+lib/eval/consistency.ml: Binning Engine Format Glushkov List Mode_select Nfa Option Program String

@@ -1,0 +1,1 @@
+lib/eval/consistency.mli: Ast Format Program

@@ -1,0 +1,1 @@
+lib/eval/experiments.ml: Arch Array Benchmarks Circuit Energy Engine Float Hashtbl List Mode_select Option Platforms Program Runner Sys Texttable

@@ -1,0 +1,1 @@
+lib/eval/export.ml: Buffer Experiments Filename Json List Printf String Sys

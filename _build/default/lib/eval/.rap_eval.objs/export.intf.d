@@ -1,0 +1,1 @@
+lib/eval/export.mli: Experiments Json

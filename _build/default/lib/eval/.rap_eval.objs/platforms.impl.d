@@ -1,0 +1,1 @@
+lib/eval/platforms.ml: Float Hashtbl List Option

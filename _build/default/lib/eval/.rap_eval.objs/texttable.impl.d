@@ -1,0 +1,1 @@
+lib/eval/texttable.ml: Array Buffer Float List Printf String

@@ -1,0 +1,77 @@
+type config = Full | No_lnfa | No_nbva | No_binning | Shallow_bv | Deep_bv
+
+let config_name = function
+  | Full -> "full RAP"
+  | No_lnfa -> "no LNFA mode"
+  | No_nbva -> "no NBVA mode"
+  | No_binning -> "no binning"
+  | Shallow_bv -> "BV depth 4"
+  | Deep_bv -> "BV depth 32"
+
+let all_configs = [ Full; No_lnfa; No_nbva; No_binning; Shallow_bv; Deep_bv ]
+
+type row = { config : config; energy_uj : float; area_mm2 : float; throughput_gchs : float }
+
+(* Compile one regex under an ablated mode policy. *)
+let compile_with config ~params source ast =
+  let decided = Mode_select.decide ~params ast in
+  let mode =
+    match (config, decided) with
+    | No_lnfa, Mode_select.Lnfa_mode -> Mode_select.Nfa_mode
+    | No_nbva, Mode_select.Nbva_mode -> Mode_select.Nfa_mode
+    | _, m -> m
+  in
+  match Mode_select.compile_as mode ~params ~source ast with
+  | Some c -> Some c
+  | None -> Mode_select.compile_as Mode_select.Nfa_mode ~params ~source ast
+
+let run env ~suite ~params =
+  let s = Benchmarks.by_name ~scale:env.Experiments.scale suite in
+  let input = s.Benchmarks.make_input ~chars:env.Experiments.chars in
+  List.map
+    (fun config ->
+      let params =
+        match config with
+        | No_binning -> { params with Program.bin_size = 1 }
+        | Shallow_bv -> { params with Program.bv_depth = 4 }
+        | Deep_bv -> { params with Program.bv_depth = 32 }
+        | Full | No_lnfa | No_nbva -> params
+      in
+      let units =
+        List.filter_map
+          (fun (src, ast) ->
+            match compile_with config ~params src ast with
+            | u -> u
+            | exception Invalid_argument _ -> None)
+          s.Benchmarks.regexes
+      in
+      let arch = Arch.rap ~bv_depth:params.Program.bv_depth in
+      let placement = Runner.place arch ~params units in
+      let r = Runner.run arch ~params placement ~input in
+      {
+        config;
+        energy_uj = Energy.total_uj r.Runner.energy;
+        area_mm2 = r.Runner.area_mm2;
+        throughput_gchs = r.Runner.throughput_gchs;
+      })
+    all_configs
+
+let print ~suite rows =
+  Printf.printf "== Ablations on %s (normalised to full RAP) ==\n" suite;
+  match List.find_opt (fun r -> r.config = Full) rows with
+  | None -> ()
+  | Some base ->
+      let t =
+        Texttable.create ~header:[ "Configuration"; "Energy"; "Area"; "Throughput" ]
+      in
+      List.iter
+        (fun r ->
+          Texttable.add_row t
+            [
+              config_name r.config;
+              Texttable.cell_ratio (r.energy_uj /. Float.max 1e-12 base.energy_uj);
+              Texttable.cell_ratio (r.area_mm2 /. Float.max 1e-12 base.area_mm2);
+              Texttable.cell_ratio (r.throughput_gchs /. Float.max 1e-12 base.throughput_gchs);
+            ])
+        rows;
+      Texttable.print t

@@ -1,0 +1,47 @@
+type failure = { source : string; mode : string; expected : int list; got : int list }
+
+let engine_report_positions engines input =
+  let acc = ref [] in
+  String.iteri
+    (fun p c ->
+      let hit = ref false in
+      List.iter
+        (fun e ->
+          Engine.step e c;
+          if Engine.reports e > 0 then hit := true)
+        engines;
+      if !hit then acc := p :: !acc)
+    input;
+  List.rev !acc
+
+let engines_for ~params ast =
+  match Mode_select.compile ~params ~source:"check" ast with
+  | { Program.kind = Program.U_nfa u; _ } -> ("NFA", [ Engine.of_nfa_unit ~ast u ])
+  | { Program.kind = Program.U_nbva u; _ } -> ("NBVA", [ Engine.of_nbva_unit u ])
+  | { Program.kind = Program.U_lnfa u; _ } ->
+      (* the regex's lines, binned exactly as the mapper would bin them *)
+      let lines = List.mapi (fun i l -> (i, l)) u.Program.lines in
+      let bins = Binning.pack ~max_bin_size:params.Program.bin_size lines in
+      ("LNFA", List.map Engine.of_bin bins)
+
+let check_regex ~params (source, ast) ~input =
+  match engines_for ~params ast with
+  | exception Invalid_argument msg ->
+      Some { source; mode = "(compile error)"; expected = []; got = []; }
+      |> Option.map (fun f -> { f with mode = "(compile error: " ^ msg ^ ")" })
+  | mode, engines ->
+      let expected = Nfa.match_ends (Glushkov.compile ast) input in
+      let got = engine_report_positions engines input in
+      if expected = got then None else Some { source; mode; expected; got }
+
+let check_set ~params regexes ~input =
+  List.filter_map (fun r -> check_regex ~params r ~input) regexes
+
+let pp_failure fmt f =
+  let show l =
+    String.concat "," (List.map string_of_int (List.filteri (fun i _ -> i < 10) l))
+  in
+  Format.fprintf fmt "%s [%s]: expected [%s]%s, got [%s]%s" f.source f.mode (show f.expected)
+    (if List.length f.expected > 10 then "..." else "")
+    (show f.got)
+    (if List.length f.got > 10 then "..." else "")

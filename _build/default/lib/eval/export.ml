@@ -1,0 +1,110 @@
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_line cells = String.concat "," (List.map csv_escape cells) ^ "\n"
+
+let versus_to_csv ~baseline_name rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (csv_line [ "dataset"; "metric"; baseline_name; "RAP-NFA"; "CAMA"; "BVAP"; "CA" ]);
+  List.iter
+    (fun (r : Experiments.versus_row) ->
+      let row metric f =
+        csv_line
+          [
+            r.Experiments.v_suite;
+            metric;
+            Printf.sprintf "%.6g" (f r.Experiments.baseline);
+            Printf.sprintf "%.6g" (f r.Experiments.rap_nfa);
+            Printf.sprintf "%.6g" (f r.Experiments.cama);
+            Printf.sprintf "%.6g" (f r.Experiments.bvap);
+            Printf.sprintf "%.6g" (f r.Experiments.ca);
+          ]
+      in
+      Buffer.add_string buf (row "energy_uJ" (fun c -> c.Experiments.energy_uj));
+      Buffer.add_string buf (row "area_mm2" (fun c -> c.Experiments.area_mm2));
+      Buffer.add_string buf (row "throughput_Gchps" (fun c -> c.Experiments.throughput_gchs)))
+    rows;
+  Buffer.contents buf
+
+let overall_to_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.overall_row) ->
+         Json.Obj
+           [
+             ("benchmark", Json.String r.Experiments.o_suite);
+             ("arch", Json.String r.Experiments.o_arch);
+             ("area_mm2", Json.Float r.Experiments.o_area_mm2);
+             ("throughput_Gchps", Json.Float r.Experiments.o_throughput);
+             ("energy_efficiency_Gchps_per_W", Json.Float r.Experiments.o_energy_eff);
+             ("compute_density_Gchps_per_mm2", Json.Float r.Experiments.o_density);
+             ("power_W", Json.Float r.Experiments.o_power_w);
+           ])
+       rows)
+
+let fig1_to_csv rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (csv_line [ "benchmark"; "nfa_pct"; "nbva_pct"; "lnfa_pct" ]);
+  List.iter
+    (fun (r : Experiments.fig1_row) ->
+      Buffer.add_string buf
+        (csv_line
+           [
+             r.Experiments.suite;
+             Printf.sprintf "%.2f" r.Experiments.pct_nfa;
+             Printf.sprintf "%.2f" r.Experiments.pct_nbva;
+             Printf.sprintf "%.2f" r.Experiments.pct_lnfa;
+           ]))
+    rows;
+  Buffer.contents buf
+
+let dse_to_json results =
+  let point (p : Experiments.dse_point) =
+    Json.Obj
+      [
+        ("value", Json.Int p.Experiments.value);
+        ("energy_uJ", Json.Float p.Experiments.energy_uj);
+        ("area_mm2", Json.Float p.Experiments.area_mm2);
+        ("throughput_Gchps", Json.Float p.Experiments.throughput);
+      ]
+  in
+  Json.List
+    (List.map
+       (fun (r : Experiments.dse_result) ->
+         Json.Obj
+           [
+             ("benchmark", Json.String r.Experiments.dse_suite);
+             ("depth_sweep", Json.List (List.map point r.Experiments.depth_sweep));
+             ("bin_sweep", Json.List (List.map point r.Experiments.bin_sweep));
+             ("chosen_depth", Json.Int r.Experiments.chosen_depth);
+             ("chosen_bin", Json.Int r.Experiments.chosen_bin);
+           ])
+       results)
+
+let write_file ~path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let export_all env ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let written = ref [] in
+  let emit name content =
+    let path = Filename.concat dir name in
+    write_file ~path content;
+    written := path :: !written
+  in
+  emit "fig1.csv" (fig1_to_csv (Experiments.fig1 env));
+  let d = Experiments.dse env in
+  emit "fig10_dse.json" (Json.to_string ~pretty:true (dse_to_json d));
+  emit "table_2.csv" (versus_to_csv ~baseline_name:"RAP-NBVA" (Experiments.table2 env d));
+  emit "table_3.csv" (versus_to_csv ~baseline_name:"RAP-LNFA" (Experiments.table3 env d));
+  emit "fig12_overall.json"
+    (Json.to_string ~pretty:true (overall_to_json (Experiments.fig12 env d)));
+  emit "fig13_platforms.json"
+    (Json.to_string ~pretty:true (overall_to_json (Experiments.fig13 env d)));
+  emit "table_4.json" (Json.to_string ~pretty:true (overall_to_json (Experiments.table4 env)));
+  List.rev !written

@@ -1,0 +1,40 @@
+type point = { name : string; power_w : float; throughput_gchs : float }
+
+(* Deterministic per-suite jitter in [1-spread, 1+spread] so the scatter
+   of Fig 13 is reproduced rather than a single collapsed point. *)
+let jitter suite ~spread =
+  let h = Hashtbl.hash suite land 0xffff in
+  1. +. (spread *. ((float_of_int h /. 32768.) -. 1.))
+
+let cpu_hyperscan ~rap_power_w ~rap_throughput ~suite =
+  {
+    name = "CPU (Hyperscan, i9-12900K)";
+    (* the i9 socket draws tens of watts regardless of RAP's size: anchor
+       to the published "RAP uses 1.1% of CPU power" with a floor *)
+    power_w = Float.max 30. (rap_power_w /. 0.011 *. jitter suite ~spread:0.2);
+    throughput_gchs = rap_throughput /. 60. *. jitter suite ~spread:0.3;
+  }
+
+let gpu_hybridsa ~rap_power_w ~rap_throughput ~suite =
+  {
+    name = "GPU (HybridSA, RTX 4060 Ti)";
+    power_w = rap_power_w *. 16. *. jitter suite ~spread:0.25;
+    throughput_gchs = rap_throughput /. 9.8 *. jitter suite ~spread:0.3;
+  }
+
+(* Table 4, hAP columns, verbatim. *)
+let hap_rows =
+  [
+    ("Brill", 1.56, 0.18);
+    ("ClamAV", 1.42, 0.18);
+    ("Dotstar", 1.47, 0.18);
+    ("PowerEN", 1.52, 0.18);
+    ("Snort", 1.41, 0.15);
+  ]
+
+let hap_fpga ~suite =
+  List.assoc_opt suite (List.map (fun (n, p, t) -> (n, (p, t))) hap_rows)
+  |> Option.map (fun (p, t) ->
+         { name = "hAP (FPGA)"; power_w = p; throughput_gchs = t })
+
+let energy_efficiency p = if p.power_w <= 0. then 0. else p.throughput_gchs /. p.power_w

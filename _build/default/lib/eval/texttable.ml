@@ -1,0 +1,45 @@
+type row = Cells of string list | Rule
+
+type t = { header : string list; mutable rows : row list }
+
+let create ~header = { header; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.header;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        if i < ncols - 1 then Buffer.add_string buf (String.make (widths.(i) - String.length c) ' '))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  emit t.header;
+  rule ();
+  List.iter (function Cells c -> emit c | Rule -> rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f v =
+  if Float.abs v >= 100. then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 1. then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.3f" v
+
+let cell_ratio v = Printf.sprintf "%.2fx" v

@@ -1,0 +1,19 @@
+(** Minimal aligned text-table rendering for the experiment reports. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val add_rule : t -> unit
+(** Horizontal separator before the next row. *)
+
+val render : t -> string
+val print : t -> unit
+(** Render to stdout with a trailing newline. *)
+
+val cell_f : float -> string
+(** Compact float formatting: 2 decimals, or 3 significant digits for
+    small magnitudes. *)
+
+val cell_ratio : float -> string
+(** ["1.63x"]. *)

@@ -1,0 +1,1 @@
+lib/hardware/cam.ml: Circuit Float

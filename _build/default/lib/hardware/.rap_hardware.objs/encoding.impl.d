@@ -1,0 +1,1 @@
+lib/hardware/encoding.ml: Array Charclass Hashtbl

@@ -1,0 +1,1 @@
+lib/hardware/encoding.mli: Charclass

@@ -1,0 +1,1 @@
+lib/hardware/energy.ml: Array Format List

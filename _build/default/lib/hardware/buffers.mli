@@ -1,0 +1,36 @@
+(** Input/output buffering (paper §3.3, adopted from BVAP).
+
+    Each bank has a 128-entry ping-pong input buffer fed by DMA and a
+    64-entry ping-pong output buffer; each array adds an 8-entry input FIFO
+    and a 2-entry output FIFO.  The two levels partially hide the
+    bit-vector-processing stalls of NBVA arrays: an array that stalls keeps
+    draining its private FIFO while the bank buffer refills it, so short
+    stalls cost no bank-level throughput until the FIFO runs dry. *)
+
+type fifo
+
+val fifo_create : capacity:int -> fifo
+val fifo_capacity : fifo -> int
+val fifo_occupancy : fifo -> int
+val fifo_is_empty : fifo -> bool
+val fifo_is_full : fifo -> bool
+val fifo_push : fifo -> bool
+(** [true] if accepted (not full). *)
+
+val fifo_pop : fifo -> bool
+(** [true] if an entry was consumed (not empty). *)
+
+(** {1 Architectural sizes} *)
+
+val bank_input_entries : int (* 128 *)
+val array_input_entries : int (* 8 *)
+val bank_output_entries : int (* 64 *)
+val array_output_entries : int (* 2 *)
+
+(** {1 Energy} *)
+
+val push_pj : float
+(** Per-entry buffer write (small register-file access; fitted constant
+    of the same order as a minimal SRAM access). *)
+
+val pop_pj : float

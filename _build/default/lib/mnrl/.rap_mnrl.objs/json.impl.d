@@ -1,0 +1,1 @@
+lib/mnrl/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/mnrl/json.mli:

@@ -1,0 +1,1 @@
+lib/mnrl/mnrl.ml: Array Ast Charclass Hashtbl Json List Nfa Option Parser Printf Result Sys

@@ -1,0 +1,1 @@
+lib/mnrl/mnrl.mli: Json Nfa

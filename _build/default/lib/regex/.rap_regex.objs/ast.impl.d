@@ -1,0 +1,1 @@
+lib/regex/ast.ml: Charclass Format List String

@@ -1,0 +1,1 @@
+lib/regex/charclass.ml: Buffer Char Format Hashtbl Int64 List Printf String

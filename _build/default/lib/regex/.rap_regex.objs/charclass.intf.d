@@ -1,0 +1,1 @@
+lib/regex/charclass.mli: Format

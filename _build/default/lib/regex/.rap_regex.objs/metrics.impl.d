@@ -1,0 +1,1 @@
+lib/regex/metrics.ml: Ast Charclass Format Hashtbl

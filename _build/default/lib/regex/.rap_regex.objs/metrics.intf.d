@@ -1,0 +1,1 @@
+lib/regex/metrics.mli: Ast Format

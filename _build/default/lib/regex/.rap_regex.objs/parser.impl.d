@@ -1,0 +1,1 @@
+lib/regex/parser.ml: Ast Char Charclass Printf String

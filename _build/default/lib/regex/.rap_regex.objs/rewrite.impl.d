@@ -1,0 +1,1 @@
+lib/regex/rewrite.ml: Array Ast Charclass List

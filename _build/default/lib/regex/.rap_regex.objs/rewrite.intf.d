@@ -1,0 +1,1 @@
+lib/regex/rewrite.mli: Ast Charclass

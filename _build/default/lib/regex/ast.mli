@@ -1,0 +1,79 @@
+(** Abstract syntax of regular expressions.
+
+    The grammar follows the paper (§2.1):
+    [r := eps | cc | r|r | r.r | r* | r{m,n}], extended with the usual
+    conveniences [r?], [r+] and unbounded repetition [r{m,}].  Bounded
+    repetition is kept as a first-class node — it is the construct the NBVA
+    mode compresses, so rewriting passes must see it un-expanded. *)
+
+type t =
+  | Epsilon  (** Matches the empty string. *)
+  | Class of Charclass.t  (** Matches one symbol of the class. *)
+  | Concat of t * t
+  | Alt of t * t
+  | Star of t
+  | Repeat of t * int * int option
+      (** [Repeat (r, m, Some n)] is [r{m,n}]; [Repeat (r, m, None)] is
+          [r{m,}].  Invariant (enforced by {!repeat}): [0 <= m] and
+          [m <= n]. *)
+
+(** {1 Smart constructors}
+
+    These apply the evident simplifications (identity elements, empty
+    classes) so that rewriting passes can rebuild nodes without
+    re-normalising. *)
+
+val epsilon : t
+val cls : Charclass.t -> t
+val chr : char -> t
+val str : string -> t
+(** Concatenation of the singletons of each character. *)
+
+val concat : t -> t -> t
+val concat_list : t list -> t
+val alt : t -> t -> t
+val alt_list : t list -> t
+(** [alt_list []] raises [Invalid_argument]. *)
+
+val star : t -> t
+val plus : t -> t
+val opt : t -> t
+val repeat : t -> int -> int option -> t
+(** Normalises degenerate bounds: [r{0,0} = eps], [r{1,1} = r],
+    [r{0,} = r*].  Raises [Invalid_argument] if [m < 0] or [n < m]. *)
+
+(** {1 Queries} *)
+
+val equal : t -> t -> bool
+val size : t -> int
+(** Number of AST nodes. *)
+
+val literal_width : t -> int
+(** Number of [Class] leaves counted with bounded repetitions unfolded —
+    i.e. the number of Glushkov positions of the fully unfolded regex.
+    Unbounded tails [r{m,}] count as [m + 1] copies of [r].  This is the
+    STE demand of NFA mode. *)
+
+val has_bounded_repetition : t -> bool
+(** [true] when some [Repeat] node with a finite upper bound remains.
+    Plain optionality [r?] (i.e. [Repeat (r, 0, Some 1)]) does not count:
+    it needs no counter, so it is part of the "unfolded" normal form. *)
+
+val max_finite_bound : t -> int
+(** Largest finite upper bound among [Repeat] nodes; [0] when none. *)
+
+val matches_empty : t -> bool
+(** Nullability. *)
+
+val first_classes : t -> Charclass.t
+(** Union of the classes that can begin a match: the prefix complexity used
+    by the design-space exploration (a "complex prefix" gives a low BV
+    activation rate, §5.3). *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints PCRE-compatible concrete syntax that {!Parser.parse} accepts
+    back. *)
+
+val to_string : t -> string

@@ -1,0 +1,49 @@
+type t = {
+  ast_nodes : int;
+  positions : int;
+  bounded_repetitions : int;
+  max_bound : int;
+  total_bv_bits : int;
+  distinct_classes : int;
+  has_unbounded : bool;
+}
+
+let analyze r =
+  let bounded = ref 0 in
+  let bv_bits = ref 0 in
+  let unbounded = ref false in
+  let classes = Hashtbl.create 16 in
+  let rec walk = function
+    | Ast.Epsilon -> ()
+    | Ast.Class cc -> Hashtbl.replace classes (Charclass.hash cc, Charclass.to_string cc) ()
+    | Ast.Concat (a, b) | Ast.Alt (a, b) ->
+        walk a;
+        walk b
+    | Ast.Star a ->
+        unbounded := true;
+        walk a
+    | Ast.Repeat (a, m, n) ->
+        (match n with
+        | Some 1 when m = 0 -> () (* plain optionality *)
+        | Some bound ->
+            incr bounded;
+            (match a with Ast.Class _ -> bv_bits := !bv_bits + bound | _ -> ())
+        | None -> unbounded := true);
+        walk a
+  in
+  walk r;
+  {
+    ast_nodes = Ast.size r;
+    positions = Ast.literal_width r;
+    bounded_repetitions = !bounded;
+    max_bound = Ast.max_finite_bound r;
+    total_bv_bits = !bv_bits;
+    distinct_classes = Hashtbl.length classes;
+    has_unbounded = !unbounded;
+  }
+
+let pp fmt m =
+  Format.fprintf fmt
+    "{nodes=%d; positions=%d; bounded=%d; max_bound=%d; bv_bits=%d; classes=%d; unbounded=%b}"
+    m.ast_nodes m.positions m.bounded_repetitions m.max_bound m.total_bv_bits
+    m.distinct_classes m.has_unbounded

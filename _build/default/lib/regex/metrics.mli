@@ -1,0 +1,17 @@
+(** Structural statistics of a regex, used by the mode-decision graph, the
+    design-space exploration, and the workload reports. *)
+
+type t = {
+  ast_nodes : int;  (** AST size. *)
+  positions : int;  (** Glushkov positions after full unfolding (NFA STEs). *)
+  bounded_repetitions : int;  (** [Repeat] nodes with a finite upper bound. *)
+  max_bound : int;  (** Largest finite upper bound, 0 when none. *)
+  total_bv_bits : int;
+      (** Sum of finite upper bounds over single-class repetitions: the bit
+          budget NBVA mode would store. *)
+  distinct_classes : int;  (** Distinct character classes among leaves. *)
+  has_unbounded : bool;  (** Contains [*], [+] or [r{m,}]. *)
+}
+
+val analyze : Ast.t -> t
+val pp : Format.formatter -> t -> unit

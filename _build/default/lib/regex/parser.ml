@@ -1,0 +1,248 @@
+type parsed = { ast : Ast.t; anchored_start : bool; anchored_end : bool }
+
+exception Parse_error of string * int
+
+(* Recursive-descent parser over a mutable cursor.  Grammar:
+     alt    := concat ('|' concat)*
+     concat := repeat*
+     repeat := atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')* '?'?
+     atom   := literal | '.' | class | '(' alt ')' | escape             *)
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (msg, st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_int st =
+  let start = st.pos in
+  while (match peek st with Some c when is_digit c -> true | _ -> false) do
+    advance st
+  done;
+  if st.pos = start then error st "expected a number";
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+(* Escape sequences shared by literal and in-class contexts.  Returns either
+   a single byte or a full character class (for \d, \w, ...). *)
+type escape = Byte of int | Cls of Charclass.t
+
+let parse_escape st =
+  match peek st with
+  | None -> error st "dangling backslash"
+  | Some c ->
+      advance st;
+      (match c with
+      | 'n' -> Byte (Char.code '\n')
+      | 't' -> Byte (Char.code '\t')
+      | 'r' -> Byte (Char.code '\r')
+      | 'f' -> Byte 12
+      | 'v' -> Byte 11
+      | 'a' -> Byte 7
+      | 'e' -> Byte 27
+      | '0' -> Byte 0
+      | 'd' -> Cls Charclass.digit
+      | 'D' -> Cls (Charclass.complement Charclass.digit)
+      | 'w' -> Cls Charclass.word
+      | 'W' -> Cls (Charclass.complement Charclass.word)
+      | 's' -> Cls Charclass.space
+      | 'S' -> Cls (Charclass.complement Charclass.space)
+      | 'x' -> (
+          match (peek st, st.pos + 1 < String.length st.src) with
+          | Some h, true ->
+              let lo = st.src.[st.pos + 1] in
+              let hv = hex_value h and lv = hex_value lo in
+              if hv < 0 || lv < 0 then error st "malformed \\x escape";
+              advance st;
+              advance st;
+              Byte ((hv * 16) + lv)
+          | _ -> error st "malformed \\x escape")
+      | c -> Byte (Char.code c))
+
+let parse_class st =
+  (* '[' already consumed *)
+  let negated =
+    match peek st with
+    | Some '^' ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let acc = ref Charclass.empty in
+  let add cc = acc := Charclass.union !acc cc in
+  let first = ref true in
+  let rec item () =
+    match peek st with
+    | None -> error st "unterminated character class"
+    | Some ']' when not !first -> advance st
+    | Some c ->
+        first := false;
+        advance st;
+        let lo =
+          if c = '\\' then parse_escape st
+          else Byte (Char.code c)
+        in
+        (match (lo, peek st) with
+        | Byte b, Some '-' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] <> ']'
+          ->
+            advance st;
+            let hi =
+              match peek st with
+              | Some '\\' ->
+                  advance st;
+                  (match parse_escape st with
+                  | Byte b -> b
+                  | Cls _ -> error st "class escape cannot end a range")
+              | Some c ->
+                  advance st;
+                  Char.code c
+              | None -> error st "unterminated character class"
+            in
+            if hi < b then error st "inverted range in character class";
+            add (Charclass.of_range (Char.chr b) (Char.chr hi))
+        | Byte b, _ -> add (Charclass.of_byte b)
+        | Cls cc, _ -> add cc);
+        item ()
+  in
+  item ();
+  let cc = if negated then Charclass.complement !acc else !acc in
+  if Charclass.is_empty cc then error st "empty character class";
+  cc
+
+let rec parse_alt st =
+  let left = parse_concat st in
+  match peek st with
+  | Some '|' ->
+      advance st;
+      Ast.alt left (parse_alt st)
+  | _ -> left
+
+and parse_concat st =
+  let rec loop acc =
+    match peek st with
+    | None | Some ')' | Some '|' -> acc
+    | Some _ -> loop (Ast.concat acc (parse_repeat st))
+  in
+  loop Ast.epsilon
+
+and parse_repeat st =
+  let atom = parse_atom st in
+  let rec quantify r =
+    match peek st with
+    | Some '*' ->
+        advance st;
+        skip_lazy ();
+        quantify (Ast.star r)
+    | Some '+' ->
+        advance st;
+        skip_lazy ();
+        quantify (Ast.plus r)
+    | Some '?' ->
+        advance st;
+        skip_lazy ();
+        quantify (Ast.opt r)
+    | Some '{' -> (
+        (* '{' not followed by a digit is a literal brace in PCRE *)
+        match
+          if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+        with
+        | Some c when is_digit c ->
+            advance st;
+            let m = parse_int st in
+            let bounds =
+              match peek st with
+              | Some ',' -> (
+                  advance st;
+                  match peek st with
+                  | Some '}' -> (m, None)
+                  | _ ->
+                      let n = parse_int st in
+                      (m, Some n))
+              | _ -> (m, Some m)
+            in
+            expect st '}';
+            skip_lazy ();
+            let m, n = bounds in
+            (match n with
+            | Some n when n < m -> error st "repetition bounds out of order"
+            | _ -> ());
+            quantify (Ast.repeat r m n)
+        | _ -> r)
+    | _ -> r
+  and skip_lazy () =
+    (* swallow a non-greedy suffix: irrelevant for automata *)
+    match peek st with Some '?' -> advance st | _ -> ()
+  in
+  quantify atom
+
+and parse_atom st =
+  match peek st with
+  | None -> error st "expected an atom"
+  | Some '(' -> (
+      advance st;
+      (* non-capturing group marker *)
+      (match (peek st, if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None) with
+      | Some '?', Some ':' ->
+          advance st;
+          advance st
+      | _ -> ());
+      match peek st with
+      | Some ')' ->
+          advance st;
+          Ast.epsilon
+      | _ ->
+          let r = parse_alt st in
+          expect st ')';
+          r)
+  | Some '[' ->
+      advance st;
+      Ast.cls (parse_class st)
+  | Some '.' ->
+      advance st;
+      Ast.cls Charclass.dot
+  | Some '\\' -> (
+      advance st;
+      match parse_escape st with
+      | Byte b -> Ast.cls (Charclass.of_byte b)
+      | Cls cc -> Ast.cls cc)
+  | Some ('*' | '+' | '?') -> error st "quantifier with nothing to repeat"
+  | Some ')' -> error st "unbalanced ')'"
+  | Some c ->
+      advance st;
+      Ast.chr c
+
+let parse s =
+  let anchored_start = String.length s > 0 && s.[0] = '^' in
+  let anchored_end =
+    let n = String.length s in
+    n > 0 && s.[n - 1] = '$' && (n < 2 || s.[n - 2] <> '\\')
+  in
+  let body =
+    let start = if anchored_start then 1 else 0 in
+    let stop = String.length s - if anchored_end then 1 else 0 in
+    String.sub s start (max 0 (stop - start))
+  in
+  let st = { src = body; pos = 0 } in
+  let ast = parse_alt st in
+  if st.pos <> String.length body then error st "trailing garbage";
+  { ast; anchored_start; anchored_end }
+
+let parse_exn s = (parse s).ast
+
+let parse_result s =
+  match parse s with
+  | p -> Ok p
+  | exception Parse_error (msg, pos) -> Error (Printf.sprintf "%s at offset %d" msg pos)

@@ -1,0 +1,30 @@
+(** Parser for the PCRE-style regex subset used by the RAP compiler.
+
+    Supported syntax: literals, [\xHH] and the usual escapes, character
+    classes [[...]] with ranges and negation, the class escapes
+    [\d \D \w \W \s \S], the wildcard [.], grouping [(...)] and
+    non-capturing [(?:...)], alternation [|], and the quantifiers
+    [* + ? {m} {m,} {m,n}], with a non-greedy [?] suffix accepted and
+    ignored (greediness is irrelevant to automaton semantics).
+
+    Anchors [^] and [$] are accepted at the outermost level and reported in
+    the {!parsed} record; the automata backends implement unanchored match
+    reporting, so the flags let a front end re-anchor if needed. *)
+
+type parsed = {
+  ast : Ast.t;
+  anchored_start : bool;  (** The pattern began with [^]. *)
+  anchored_end : bool;  (** The pattern ended with [$]. *)
+}
+
+exception Parse_error of string * int
+(** [Parse_error (message, position)]. *)
+
+val parse : string -> parsed
+(** @raise Parse_error on malformed input. *)
+
+val parse_exn : string -> Ast.t
+(** [parse_exn s] is [(parse s).ast]. *)
+
+val parse_result : string -> (parsed, string) result
+(** Error-returning variant; the message includes the position. *)

@@ -1,0 +1,1 @@
+lib/sim/bank_sim.mli:

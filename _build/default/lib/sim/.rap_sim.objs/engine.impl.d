@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Binning Bitvec List Nbva Nfa Program Shift_and

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Arch Array Ast Buffers Cam Circuit Energy Engine Format Hashtbl List Mapper Mode_select Nbva_compile Nfa_compile Program Rewrite String Switch

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Arch Ast Energy Engine Format Mapper Program

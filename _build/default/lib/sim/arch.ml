@@ -1,0 +1,113 @@
+type kind = Rap | Cama | Ca | Bvap
+
+let kind_name = function Rap -> "RAP" | Cama -> "CAMA" | Ca -> "CA" | Bvap -> "BVAP"
+
+type t = {
+  kind : kind;
+  clock_ghz : float;
+  tile_stes : int;
+  tile_area_um2 : float;
+  controller_pj : float;
+  reconfig_tax_pj : float;
+  match_min_pj : float;
+  supports_nbva : bool;
+  supports_lnfa : bool;
+  bvm_area_um2 : float;
+  bv_word_bits : int;
+  tile_leak_components : float;
+}
+
+let cam_leak = Circuit.cam_32x128.Circuit.leakage_ua
+let sw_leak = Circuit.sram_128x128.Circuit.leakage_ua
+let ctrl_leak = Circuit.local_controller.Circuit.leakage_ua
+
+let rap ~bv_depth =
+  {
+    kind = Rap;
+    clock_ghz = Circuit.rap_clock_ghz;
+    tile_stes = Circuit.tile_cam_cols;
+    tile_area_um2 = Circuit.rap_tile_area_um2;
+    controller_pj = Circuit.local_controller.Circuit.energy_min_pj;
+    (* fitted: mode multiplexing and BV-mask checking on every access *)
+    reconfig_tax_pj = 0.5;
+    match_min_pj = Cam.search_pj ~enabled_cols:1;
+    supports_nbva = true;
+    supports_lnfa = true;
+    bvm_area_um2 = 0.;
+    bv_word_bits = bv_depth;
+    tile_leak_components = cam_leak +. sw_leak +. ctrl_leak;
+  }
+
+(* CAMA shares a simpler controller between tiles: half the dynamic energy
+   and half the leakage/area are charged per tile (fitted to the Table 2
+   RAP-NFA/CAMA ratios). *)
+let cama =
+  {
+    kind = Cama;
+    clock_ghz = Circuit.cama_clock_ghz;
+    tile_stes = Circuit.tile_cam_cols;
+    tile_area_um2 = Circuit.cama_tile_area_um2;
+    controller_pj = Circuit.local_controller.Circuit.energy_min_pj /. 2.;
+    reconfig_tax_pj = 0.;
+    match_min_pj = Cam.search_pj ~enabled_cols:1;
+    supports_nbva = false;
+    supports_lnfa = false;
+    bvm_area_um2 = 0.;
+    bv_word_bits = Circuit.tile_cam_rows;
+    tile_leak_components = cam_leak +. sw_leak +. (ctrl_leak /. 2.);
+  }
+
+(* Cache Automaton: 256-STE tiles; state matching reads one 256-bit row of
+   a 256x256 SRAM indexed by the input symbol; transitions go through a
+   256x256 switch. *)
+let ca =
+  {
+    kind = Ca;
+    clock_ghz = Circuit.ca_clock_ghz;
+    tile_stes = Circuit.ca_tile_stes;
+    tile_area_um2 = Circuit.ca_tile_area_um2;
+    controller_pj = Circuit.local_controller.Circuit.energy_min_pj /. 2.;
+    reconfig_tax_pj = 0.;
+    match_min_pj = Circuit.sram_256x256.Circuit.energy_min_pj;
+    supports_nbva = false;
+    supports_lnfa = false;
+    bvm_area_um2 = 0.;
+    bv_word_bits = Circuit.tile_cam_rows;
+    tile_leak_components =
+      (2. *. Circuit.sram_256x256.Circuit.leakage_ua) +. (ctrl_leak /. 2.);
+  }
+
+let bvap =
+  {
+    kind = Bvap;
+    clock_ghz = Circuit.bvap_clock_ghz;
+    tile_stes = Circuit.tile_cam_cols;
+    tile_area_um2 = Circuit.cama_tile_area_um2;
+    controller_pj = Circuit.local_controller.Circuit.energy_min_pj /. 2.;
+    reconfig_tax_pj = 0.;
+    match_min_pj = Cam.search_pj ~enabled_cols:1;
+    supports_nbva = true;
+    supports_lnfa = false;
+    bvm_area_um2 = Circuit.bvap_bvm_area_um2;
+    bv_word_bits = 128;
+    tile_leak_components =
+      cam_leak +. sw_leak +. (ctrl_leak /. 2.)
+      (* the BVM's SRAM + MFCB leak too *)
+      +. (2. *. sw_leak);
+  }
+
+let stall_cycles t ~bv_depth ~max_bv_size =
+  match t.kind with
+  | Rap -> bv_depth + 2
+  | Bvap -> ((max_bv_size + t.bv_word_bits - 1) / t.bv_word_bits) + 2
+  | Cama | Ca -> 0
+
+let array_leakage_pj_per_cycle t =
+  Circuit.leakage_pj_per_cycle Circuit.sram_256x256 ~clock_ghz:t.clock_ghz
+  +. Circuit.leakage_pj_per_cycle Circuit.global_controller ~clock_ghz:t.clock_ghz
+
+let tile_leakage_pj_per_cycle t ~powered =
+  let full =
+    t.tile_leak_components *. Circuit.supply_voltage_v /. t.clock_ghz /. 1000.
+  in
+  if powered then full else 0.1 *. full

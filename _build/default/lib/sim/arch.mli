@@ -1,0 +1,49 @@
+(** Architecture descriptors for the simulated designs.
+
+    RAP and the three baseline ASICs share the event-driven simulator; this
+    module captures what differs: clock, controller energy, tile geometry,
+    area, and how bit vectors are provisioned.  The fitted constants (local
+    controller share of the baselines, BVAP's BVM geometry) are calibrated
+    to the published design points and flagged in the implementation. *)
+
+type kind = Rap | Cama | Ca | Bvap
+
+val kind_name : kind -> string
+
+type t = {
+  kind : kind;
+  clock_ghz : float;
+  tile_stes : int;  (** STE capacity of one tile (128; 256 for CA). *)
+  tile_area_um2 : float;  (** Area of one tile including its share of control. *)
+  controller_pj : float;  (** Local-controller dynamic energy per tile-cycle. *)
+  reconfig_tax_pj : float;
+      (** RAP only: per-tile-cycle cost of the mode logic (BV-mask checks,
+          mode multiplexing). *)
+  match_min_pj : float;  (** State-matching floor per tile access. *)
+  supports_nbva : bool;  (** Native bit vectors (RAP, BVAP). *)
+  supports_lnfa : bool;  (** Shift-And path (RAP only). *)
+  bvm_area_um2 : float;  (** Per-tile dedicated BV module area (BVAP). *)
+  bv_word_bits : int;  (** BV word width for stall accounting. *)
+  tile_leak_components : float;
+      (** Sum of leakage currents (uA) of one tile's components. *)
+}
+
+val rap : bv_depth:int -> t
+(** RAP with the DSE-chosen BV depth; [bv_word_bits = bv_depth] columns of
+    the CAM turn into one word per processing cycle... the stall per
+    triggering symbol is [depth + 2] cycles (3-stage pipeline, §3.1). *)
+
+val cama : t
+val ca : t
+val bvap : t
+(** BVAP processes BVs in fixed 128-bit words through the MFCB; the stall
+    per triggering symbol is [ceil(max_bv_size/128) + 2] cycles. *)
+
+val stall_cycles : t -> bv_depth:int -> max_bv_size:int -> int
+(** Cycles added per symbol that triggers the bit-vector-processing phase. *)
+
+val array_leakage_pj_per_cycle : t -> float
+(** Global switch + global controller static energy per cycle. *)
+
+val tile_leakage_pj_per_cycle : t -> powered:bool -> float
+(** Tile static energy; power-gated tiles retain 10% residual leakage. *)

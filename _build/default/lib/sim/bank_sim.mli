@@ -1,0 +1,27 @@
+(** Bank-level input buffering (paper §3.3).
+
+    A bank couples up to four arrays behind a 128-entry ping-pong input
+    buffer; each array owns an 8-entry FIFO.  When some array enters a
+    bit-vector-processing phase it stops draining its FIFO; the bank keeps
+    refilling it, so short stalls cost no bank-level bandwidth — the
+    "two levels of buffering to hide the latency across arrays partially".
+    When any NBVA array is present, a polling arbiter serves one array per
+    cycle; otherwise the bank broadcasts to all arrays.
+
+    [run ~clock_ghz ~chars ~stalls] drives the bank until every array has
+    consumed [chars] symbols; [stalls.(a).(c)] is the number of extra
+    cycles array [a] spends after consuming symbol [c] (the runner's
+    per-symbol stall trace). *)
+
+type stats = {
+  cycles : int;  (** Bank cycles until all arrays finished. *)
+  chars_delivered : int;
+  throughput_gchs : float;
+  stall_cycles_hidden : int;
+      (** Stall cycles during which the stalled array's FIFO still held
+          buffered input — latency the buffering absorbed. *)
+  arbiter_active : bool;  (** The polling arbiter was engaged. *)
+  min_fifo_occupancy : int array;  (** Low-water mark per array FIFO. *)
+}
+
+val run : clock_ghz:float -> chars:int -> stalls:int array array -> stats

@@ -1,0 +1,301 @@
+type mode = M_nfa | M_nbva | M_lnfa
+
+(* Per-symbol scratch statistics, indexed by unit-local tile. *)
+type stats = {
+  active : int array;
+  enabled : int array;
+  powered : bool array;
+  triggered : bool array;
+  mutable cross : int;
+  mutable reports : int;
+}
+
+let stats_create n =
+  {
+    active = Array.make n 0;
+    enabled = Array.make n 0;
+    powered = Array.make n true;
+    triggered = Array.make n false;
+    cross = 0;
+    reports = 0;
+  }
+
+let stats_reset s =
+  Array.fill s.active 0 (Array.length s.active) 0;
+  Array.fill s.enabled 0 (Array.length s.enabled) 0;
+  Array.fill s.powered 0 (Array.length s.powered) true;
+  Array.fill s.triggered 0 (Array.length s.triggered) false;
+  s.cross <- 0;
+  s.reports <- 0
+
+(* ------------------------------------------------------------------ *)
+(* NFA units: compressed executor over the equivalent NBVA.            *)
+
+type nfa_engine = {
+  u : Program.nfa_unit;
+  exec : Nbva.t;
+  exec_st : Nbva.run_state;
+  offsets : int array;  (* exec state -> first unfolded Glushkov position *)
+  (* cross-edge sources, pre-resolved to (exec state, bit or -1 for plain) *)
+  cross_sources : (int * int) array;
+  static_cols : int array;
+  n_stats : stats;
+}
+
+(* Unfolded width of one exec state. *)
+let exec_width ste = match ste with Nbva.Plain _ -> 1 | Nbva.Bv { size; _ } -> size
+
+let make_nfa_engine ~ast (u : Program.nfa_unit) =
+  (* threshold 2 gives maximal compression; the rewriting preserves the
+     left-to-right order of unfolded positions, so prefix sums of widths
+     recover each state's position range. *)
+  let exec = Nbva.compile ~threshold:2 ast in
+  let n = Nbva.num_states exec in
+  let offsets = Array.make (n + 1) 0 in
+  for q = 0 to n - 1 do
+    offsets.(q + 1) <- offsets.(q) + exec_width exec.Nbva.stes.(q)
+  done;
+  if offsets.(n) <> Nfa.num_states u.Program.nfa then
+    invalid_arg "Engine: compressed executor disagrees with the unfolded NFA size";
+  (* resolve an unfolded position to (exec state, bit) by binary search *)
+  let resolve pos =
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if offsets.(mid + 1) <= pos then search (mid + 1) hi else search lo mid
+    in
+    let q = search 0 (n - 1) in
+    match exec.Nbva.stes.(q) with
+    | Nbva.Plain _ -> (q, -1)
+    | Nbva.Bv _ -> (q, pos - offsets.(q))
+  in
+  let cross_sources = Array.of_list (List.map (fun (p, _) -> resolve p) u.Program.cross_edges) in
+  {
+    u;
+    exec;
+    exec_st = Nbva.start exec;
+    offsets;
+    cross_sources;
+    static_cols = u.Program.tile_cols;
+    n_stats = stats_create (Array.length u.Program.tile_states);
+  }
+
+let nfa_step (e : nfa_engine) c =
+  let s = e.n_stats in
+  stats_reset s;
+  ignore (Nbva.step e.exec e.exec_st c);
+  let out = Nbva.outputs e.exec_st and vecs = Nbva.vectors e.exec_st in
+  let tile_of = e.u.Program.tile_of_state in
+  Array.iteri
+    (fun q ste ->
+      match ste with
+      | Nbva.Plain _ ->
+          if out.(q) then
+            let t = tile_of.(e.offsets.(q)) in
+            s.active.(t) <- s.active.(t) + 1
+      | Nbva.Bv _ -> (
+          match vecs.(q) with
+          | Some v ->
+              if not (Bitvec.is_zero v) then
+                Bitvec.iter_set
+                  (fun bit ->
+                    let t = tile_of.(e.offsets.(q) + bit) in
+                    s.active.(t) <- s.active.(t) + 1)
+                  v
+          | None -> assert false))
+    e.exec.Nbva.stes;
+  (* all programmed CC columns are enabled in NFA mode *)
+  Array.iteri (fun t cols -> s.enabled.(t) <- cols) e.static_cols;
+  Array.iter
+    (fun (q, bit) ->
+      let fired =
+        if bit < 0 then out.(q)
+        else match vecs.(q) with Some v -> Bitvec.get v bit | None -> false
+      in
+      if fired then s.cross <- s.cross + 1)
+    e.cross_sources;
+  s.reports <- Nbva.reports e.exec e.exec_st
+
+(* ------------------------------------------------------------------ *)
+(* NBVA units: direct execution with tile projection.                  *)
+
+type nbva_engine = {
+  nu : Program.nbva_unit;
+  nb_st : Nbva.run_state;
+  bv_tile : int array;  (* exec state -> tile, -1 when not a BV *)
+  nb_static_cols : int array;
+  nb_bv_cols : int array;
+  nb_max_bv : int;
+  nb_stats : stats;
+}
+
+let make_nbva_engine (nu : Program.nbva_unit) =
+  let ntiles = Array.length nu.Program.ntiles in
+  let n = Nbva.num_states nu.Program.nbva in
+  let bv_tile = Array.make n (-1) in
+  Array.iteri
+    (fun t (tile : Program.nbva_tile) ->
+      List.iter (fun (a : Program.bv_alloc) -> bv_tile.(a.Program.ste) <- t) tile.Program.bvs)
+    nu.Program.ntiles;
+  let static_cols =
+    Array.map
+      (fun (t : Program.nbva_tile) -> t.Program.cc_cols + t.Program.set1_cols + t.Program.bv_cols)
+      nu.Program.ntiles
+  in
+  (* BV storage columns: sum of allocation widths (equals [bv_cols] on
+     RAP; covers BVAP, whose BVM columns are not CAM columns) *)
+  let bv_cols =
+    Array.map
+      (fun (t : Program.nbva_tile) ->
+        List.fold_left (fun acc (a : Program.bv_alloc) -> acc + a.Program.width) 0 t.Program.bvs)
+      nu.Program.ntiles
+  in
+  let max_bv =
+    Array.fold_left
+      (fun acc (t : Program.nbva_tile) ->
+        List.fold_left (fun acc (a : Program.bv_alloc) -> max acc a.Program.size) acc t.Program.bvs)
+      0 nu.Program.ntiles
+  in
+  {
+    nu;
+    nb_st = Nbva.start nu.Program.nbva;
+    bv_tile;
+    nb_static_cols = static_cols;
+    nb_bv_cols = bv_cols;
+    nb_max_bv = max_bv;
+    nb_stats = stats_create ntiles;
+  }
+
+let nbva_step (e : nbva_engine) c =
+  let s = e.nb_stats in
+  stats_reset s;
+  let nbva = e.nu.Program.nbva in
+  ignore (Nbva.step nbva e.nb_st c);
+  let out = Nbva.outputs e.nb_st and vecs = Nbva.vectors e.nb_st in
+  Array.iteri
+    (fun q active ->
+      if active then begin
+        let t = e.nu.Program.tile_of_state.(q) in
+        s.active.(t) <- s.active.(t) + 1
+      end;
+      match vecs.(q) with
+      | Some v when not (Bitvec.is_zero v) -> s.triggered.(e.bv_tile.(q)) <- true
+      | Some _ | None -> ())
+    out;
+  (* only CC columns are searched every symbol; BV columns activate in the
+     processing phase *)
+  Array.iteri
+    (fun t (tile : Program.nbva_tile) -> s.enabled.(t) <- tile.Program.cc_cols)
+    e.nu.Program.ntiles;
+  List.iter
+    (fun (p, _) -> if out.(p) then s.cross <- s.cross + 1)
+    e.nu.Program.cross_edges;
+  s.reports <- Nbva.reports nbva e.nb_st
+
+(* ------------------------------------------------------------------ *)
+(* LNFA bins: Shift-And over the packed bin, regions mapped to tiles.   *)
+
+type bin_engine = {
+  bin : Binning.bin;
+  sa : Shift_and.t;
+  sa_st : Shift_and.state;
+  bit_tile : int array;  (* packed bit -> bin tile *)
+  initial_cols_t0 : int;  (* one initial column per member line *)
+  b_static_cols : int array;
+  b_stats : stats;
+}
+
+let make_bin_engine (bin : Binning.bin) =
+  let lines = List.map (fun (_, l) -> l.Program.labels) bin.Binning.members in
+  let sa = Shift_and.of_bin lines in
+  let offsets = Shift_and.pattern_offsets sa in
+  let width = Shift_and.width sa in
+  let bit_tile = Array.make width 0 in
+  List.iteri
+    (fun j (_, line) ->
+      let base = offsets.(j) in
+      Array.iteri
+        (fun i _ -> bit_tile.(base + i) <- i / bin.Binning.region_states)
+        line.Program.labels)
+    bin.Binning.members;
+  let per_state = if bin.Binning.single_code then 1 else 2 in
+  let static_cols = Array.make bin.Binning.tiles 0 in
+  Array.iter (fun t -> static_cols.(t) <- static_cols.(t) + per_state) bit_tile;
+  {
+    bin;
+    sa;
+    sa_st = Shift_and.start sa;
+    bit_tile;
+    initial_cols_t0 = List.length bin.Binning.members;
+    b_static_cols = static_cols;
+    b_stats = stats_create bin.Binning.tiles;
+  }
+
+let bin_step (e : bin_engine) c =
+  let s = e.b_stats in
+  stats_reset s;
+  ignore (Shift_and.step e.sa e.sa_st c);
+  let v = Shift_and.state_vector e.sa_st in
+  Bitvec.iter_set
+    (fun bit ->
+      let t = e.bit_tile.(bit) in
+      s.active.(t) <- s.active.(t) + 1)
+    v;
+  let per_state = if e.bin.Binning.single_code then 1 else 2 in
+  for t = 0 to e.bin.Binning.tiles - 1 do
+    (* enabled columns: active states plus, in tile 0, the always-armed
+       initial columns *)
+    let enabled = per_state * s.active.(t) in
+    let enabled = if t = 0 then enabled + (per_state * e.initial_cols_t0) else enabled in
+    s.enabled.(t) <- min enabled e.b_static_cols.(t);
+    (* power gating: a tile without initial states sleeps when idle *)
+    s.powered.(t) <- t = 0 || s.active.(t) > 0
+  done;
+  (* ring signals: bits crossing a region boundary feed the next tile *)
+  Bitvec.iter_set
+    (fun bit ->
+      if
+        bit + 1 < Array.length e.bit_tile
+        && e.bit_tile.(bit + 1) = e.bit_tile.(bit) + 1
+      then s.cross <- s.cross + 1)
+    v;
+  s.reports <- Shift_and.final_hits e.sa e.sa_st
+
+(* ------------------------------------------------------------------ *)
+
+type t = E_nfa of nfa_engine | E_nbva of nbva_engine | E_bin of bin_engine
+
+let mode = function E_nfa _ -> M_nfa | E_nbva _ -> M_nbva | E_bin _ -> M_lnfa
+let of_nfa_unit ~ast u = E_nfa (make_nfa_engine ~ast u)
+let of_nbva_unit u = E_nbva (make_nbva_engine u)
+let of_bin b = E_bin (make_bin_engine b)
+
+let stats_of = function E_nfa e -> e.n_stats | E_nbva e -> e.nb_stats | E_bin e -> e.b_stats
+
+let num_tiles = function
+  | E_nfa e -> Array.length e.u.Program.tile_states
+  | E_nbva e -> Array.length e.nu.Program.ntiles
+  | E_bin e -> e.bin.Binning.tiles
+
+let step t c =
+  match t with E_nfa e -> nfa_step e c | E_nbva e -> nbva_step e c | E_bin e -> bin_step e c
+
+let reports t = (stats_of t).reports
+let tile_active_states t i = (stats_of t).active.(i)
+let tile_powered t i = (stats_of t).powered.(i)
+let tile_enabled_cols t i = (stats_of t).enabled.(i)
+let tile_bv_triggered t i = (stats_of t).triggered.(i)
+let cross_signals t = (stats_of t).cross
+
+let tile_static_cols t i =
+  match t with
+  | E_nfa e -> e.static_cols.(i)
+  | E_nbva e -> e.nb_static_cols.(i)
+  | E_bin e -> e.b_static_cols.(i)
+
+let tile_bv_cols t i =
+  match t with E_nfa _ -> 0 | E_nbva e -> e.nb_bv_cols.(i) | E_bin _ -> 0
+
+let max_bv_size = function E_nfa _ | E_bin _ -> 0 | E_nbva e -> e.nb_max_bv
+let bv_depth = function E_nfa _ | E_bin _ -> 0 | E_nbva e -> e.nu.Program.depth

@@ -1,0 +1,66 @@
+(** Per-group execution engines with per-tile activity statistics.
+
+    One engine drives one mapper group (a dedicated unit, a shared tile, or
+    an LNFA bin) through the input, symbol by symbol, and exposes exactly
+    the per-tile event counts the energy model needs: active STEs, enabled
+    CAM columns, BV-phase triggers, cross-tile signals, and reports.
+
+    {b NFA-mode execution uses a compressed executor}: the unfolded chain
+    of a bounded repetition is bit-for-bit the vector of the equivalent
+    NBVA (unfolded chain state [s_k] is active iff vector bit [k-1] is
+    set), so the engine runs NBVA semantics internally and projects bits
+    back onto the unfolded tile layout.  This keeps NFA-mode simulation of
+    repetition-heavy benchmarks tractable without changing any observable
+    statistic (property-tested against the direct NFA execution). *)
+
+type mode = M_nfa | M_nbva | M_lnfa
+
+type t
+
+val mode : t -> mode
+val num_tiles : t -> int
+
+(** {1 Construction} *)
+
+val of_nfa_unit : ast:Ast.t -> Program.nfa_unit -> t
+val of_nbva_unit : Program.nbva_unit -> t
+val of_bin : Binning.bin -> t
+
+(** {1 Stepping} *)
+
+val step : t -> char -> unit
+(** Advance by one input symbol; refreshes all per-tile statistics. *)
+
+(** {1 Per-symbol statistics (valid after the last [step])} *)
+
+val reports : t -> int
+(** Reporting-STE activations at this symbol. *)
+
+val tile_active_states : t -> int -> int
+val tile_powered : t -> int -> bool
+(** [false] only for power-gated LNFA bin tiles with no initial and no
+    active state. *)
+
+val tile_enabled_cols : t -> int -> int
+(** Columns precharged for state matching at this symbol: all programmed
+    CC columns in NFA/NBVA mode; initial + active columns in LNFA mode. *)
+
+val tile_bv_triggered : t -> int -> bool
+(** The tile enters the bit-vector-processing phase at this symbol. *)
+
+val cross_signals : t -> int
+(** Cross-tile transitions fired at this symbol (global switch rows). *)
+
+(** {1 Static per-tile facts} *)
+
+val tile_static_cols : t -> int -> int
+(** Programmed columns (for area/utilisation). *)
+
+val tile_bv_cols : t -> int -> int
+val max_bv_size : t -> int
+(** Largest bit vector hosted by the engine (0 when none) — drives the
+    BVAP stall model. *)
+
+val bv_depth : t -> int
+(** BV depth of an NBVA engine's unit (words per processing phase);
+    0 for other engines. *)

@@ -1,0 +1,68 @@
+(** Top-level simulation driver.
+
+    [compile_for] compiles a regex set the way each architecture would
+    consume it (RAP: decision graph; CAMA/CA: everything as NFA; BVAP:
+    NBVA where profitable, NFA otherwise), [run] drives a placement through
+    an input and produces the measurements the paper's tables report. *)
+
+type array_detail = {
+  a_cycles : int;  (** Cycles this array took for the whole input. *)
+  a_tiles : int;  (** Tiles allocated in this array. *)
+  a_has_nbva : bool;
+}
+
+type report = {
+  arch : Arch.kind;
+  chars : int;
+  cycles : int;  (** Slowest array (arrays are decoupled by buffering). *)
+  arrays_detail : array_detail array;
+  match_reports : int;  (** Reporting-STE activations. *)
+  energy : Energy.t;
+  area_mm2 : float;
+  throughput_gchs : float;
+  power_w : float;  (** Average power = energy / runtime. *)
+  num_arrays : int;
+  num_tiles : int;
+  num_states : int;
+  mode_energy_pj : (Engine.mode * float) list;
+  mode_area_um2 : (Engine.mode * float) list;
+  mode_states : (Engine.mode * int) list;
+  mapper_stats : Mapper.stats;
+}
+
+val energy_efficiency_gchs_per_w : report -> float
+(** Throughput / power — the paper's headline metric. *)
+
+val compute_density_gchs_per_mm2 : report -> float
+
+val compile_for :
+  Arch.t ->
+  params:Program.params ->
+  (string * Ast.t) list ->
+  Program.compiled list * (string * string) list
+(** [(compiled, errors)]: units the architecture accepts and regexes it
+    rejects (with reasons).  CAMA/CA force NFA mode (CA with 256-STE
+    tiles); BVAP compiles repetitions to its BVM-backed NBVA and the rest
+    to NFA. *)
+
+val place :
+  Arch.t -> params:Program.params -> Program.compiled list -> Mapper.placement
+
+val run :
+  Arch.t -> params:Program.params -> Mapper.placement -> input:string -> report
+
+val run_with_stall_traces :
+  Arch.t ->
+  params:Program.params ->
+  Mapper.placement ->
+  input:string ->
+  report * int array array
+(** Like {!run}, additionally returning the per-array per-symbol stall
+    trace (extra cycles after each symbol) that {!Bank_sim.run} consumes
+    to model the two-level input buffering. *)
+
+val run_regexes :
+  Arch.t -> params:Program.params -> (string * Ast.t) list -> input:string -> report
+(** [compile_for] + [place] + [run]. *)
+
+val pp_report : Format.formatter -> report -> unit

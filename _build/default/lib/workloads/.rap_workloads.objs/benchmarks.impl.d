@@ -1,0 +1,1 @@
+lib/workloads/benchmarks.ml: Array Ast Buffer Charclass Distributions List String Synth

@@ -1,0 +1,1 @@
+lib/workloads/distributions.ml: Array Char List Random String

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Ast Char Charclass Distributions List Rewrite String

@@ -1,0 +1,111 @@
+type alphabet = Text | Protein | Binary
+
+let char_of st = function
+  | Text -> Distributions.lower_char st
+  | Protein -> Distributions.protein_char st
+  | Binary -> Distributions.hex_byte_char st
+
+let literal st alphabet n =
+  Ast.str (String.init n (fun _ -> char_of st alphabet))
+
+let small_class st alphabet =
+  (* a short contiguous class, e.g. [bcd] or [CDE]: fits one CAM code *)
+  let lo = char_of st alphabet in
+  let n = Distributions.int_in st 1 3 in
+  let hi = Char.chr (min 255 (Char.code lo + n)) in
+  Ast.cls (Charclass.of_range lo hi)
+
+let wide_class st alphabet =
+  (* a nibble-crossing class ([a-z], [0-9a-f], the 20 amino acids): needs
+     several multi-zero-prefix codes, forcing the one-hot switch path *)
+  match alphabet with
+  | Text -> Ast.cls (Charclass.of_range 'a' 'z')
+  | Protein -> Ast.cls (Charclass.of_string "ACDEFGHIKLMNPQRSTVWY")
+  | Binary ->
+      ignore st;
+      Ast.cls (Charclass.union (Charclass.of_range '0' '9') (Charclass.of_range 'a' 'f'))
+
+let keyword_line st alphabet =
+  let pieces = Distributions.int_in st 3 6 in
+  let piece _ =
+    match Distributions.weighted st [ (16, `Lit); (4, `Class); (1, `Wide) ] with
+    | `Lit -> literal st alphabet (Distributions.int_in st 3 7)
+    | `Class -> small_class st alphabet
+    | `Wide -> wide_class st alphabet
+  in
+  let body = Ast.concat_list (List.init pieces piece) in
+  (* occasionally an optional one-character tail, the a[bc].d? shape *)
+  if Distributions.int_in st 0 5 = 0 then
+    Ast.concat body (Ast.opt (Ast.chr (char_of st alphabet)))
+  else body
+
+let motif st =
+  (* e.g. [AG].{2}C[DE]H — Prosite's x(n) gaps are small exact repetitions
+     that unfold into a single line *)
+  let pieces = Distributions.int_in st 3 6 in
+  let piece _ =
+    match Distributions.weighted st [ (4, `Res); (3, `Class); (2, `Gap) ] with
+    | `Res -> Ast.chr (Distributions.protein_char st)
+    | `Class -> small_class st Protein
+    | `Gap ->
+        (* the x(n) wildcard gap: a contiguous residue range keeps the
+           line on the CAM path; occasionally the exact 20-letter class
+           (one-hot path, the paper's 16% of LNFAs) *)
+        let n = Distributions.int_in st 1 4 in
+        let x =
+          if Distributions.int_in st 0 7 = 0 then wide_class st Protein
+          else Ast.cls (Charclass.of_range 'A' 'O')
+        in
+        Ast.repeat x n (Some n)
+  in
+  Ast.concat_list (List.init pieces piece)
+
+let counted_signature st ~min_bound ~max_bound alphabet =
+  let bound () = Distributions.int_in st min_bound max_bound in
+  (* real signatures carry a discriminating prefix, so the bit vector is
+     rarely seeded ("complex prefix ... low activation rate", sect 5.3) *)
+  let prefix = literal st alphabet (Distributions.int_in st 4 8) in
+  let counted () =
+    let b = bound () in
+    match Distributions.weighted st [ (4, `Exact); (3, `Range); (1, `Gap) ] with
+    | `Exact -> Ast.repeat (Ast.chr (char_of st alphabet)) b (Some b)
+    | `Range ->
+        let lo = max 1 (b / 4) in
+        Ast.repeat (small_class st alphabet) lo (Some b)
+    | `Gap -> Ast.repeat (Ast.cls Charclass.dot) (Distributions.int_in st 0 2) (Some b)
+  in
+  let middle = counted () in
+  let suffix = literal st alphabet (Distributions.int_in st 2 4) in
+  if Distributions.int_in st 0 3 = 0 then
+    Ast.concat_list [ prefix; middle; suffix; counted (); literal st alphabet 2 ]
+  else Ast.concat_list [ prefix; middle; suffix ]
+
+let complex_validation st =
+  (* (foo|bar)+ baz.* style with nested groups: resists linearisation *)
+  let word () = literal st Text (Distributions.int_in st 2 4) in
+  let group () = Ast.alt_list [ word (); word (); word () ] in
+  let star_part =
+    match Distributions.weighted st [ (3, `Star); (2, `Plus); (2, `DotStar) ] with
+    | `Star -> Ast.star (group ())
+    | `Plus -> Ast.plus (group ())
+    | `DotStar -> Ast.concat (Ast.star (Ast.cls Charclass.dot)) (word ())
+  in
+  Ast.concat_list [ word (); star_part; group () ]
+
+let network_rule st ~bounded =
+  let content = literal st Text (Distributions.int_in st 4 8) in
+  let gap =
+    if bounded then
+      Ast.repeat (Ast.cls Charclass.dot) (Distributions.int_in st 1 4)
+        (Some (Distributions.int_in st 10 64))
+    else Ast.star (Ast.cls Charclass.dot)
+  in
+  let field =
+    Ast.plus (Ast.cls (Charclass.complement (Charclass.of_string "\r\n ")))
+  in
+  let tail = literal st Text (Distributions.int_in st 2 5) in
+  match Distributions.weighted st [ (3, `Simple); (2, `Field) ] with
+  | `Simple -> Ast.concat_list [ content; gap; tail ]
+  | `Field -> Ast.concat_list [ content; gap; field; tail ]
+
+let unfolded = Rewrite.unfold_all

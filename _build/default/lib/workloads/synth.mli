@@ -1,0 +1,33 @@
+(** Synthetic regex generators, one per pattern family.
+
+    Each generator produces regexes whose RAP compilation lands in a known
+    mode, so a benchmark's NFA/NBVA/LNFA mixture (Fig 1) can be dialled in
+    directly.  The shapes mimic the corresponding real rule sets:
+    keyword-and-class lines for SpamAssassin, amino-acid motifs with small
+    gaps for Prosite, signatures with large counted gaps for ClamAV/Yara,
+    protocol patterns with medium repetitions for Snort/Suricata, and
+    validation regexes with stars and alternations for RegexLib. *)
+
+type alphabet = Text | Protein | Binary
+
+val keyword_line : Distributions.rng -> alphabet -> Ast.t
+(** Literal-ish line with occasional classes and an optional tail: compiles
+    to LNFA. *)
+
+val motif : Distributions.rng -> Ast.t
+(** Prosite-style motif: classes and small (< threshold) bounded gaps,
+    unfolding to a line: LNFA. *)
+
+val counted_signature : Distributions.rng -> min_bound:int -> max_bound:int -> alphabet -> Ast.t
+(** Signature with one or two large single-class bounded repetitions
+    ([x{n}] / [x{m,n}] / [.{m,n}] gaps): NBVA. *)
+
+val complex_validation : Distributions.rng -> Ast.t
+(** Alternations of groups with stars / unbounded repeats: NFA. *)
+
+val network_rule : Distributions.rng -> bounded:bool -> Ast.t
+(** Snort-style content rule: literal anchor + class runs; with [bounded],
+    a medium counted gap (NBVA), otherwise a star gap (NFA). *)
+
+val unfolded : Ast.t -> Ast.t
+(** Unfold all bounded repetitions — ANMLZoo-style pre-expanded rules. *)

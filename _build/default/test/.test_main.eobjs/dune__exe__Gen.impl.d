@@ -1,0 +1,1 @@
+test/gen.ml: Array Ast Charclass Gen QCheck2 String

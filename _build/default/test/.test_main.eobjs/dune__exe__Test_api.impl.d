@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Astring_contains Experiments Glushkov List Nfa Parser Platforms Rap Runner String Texttable

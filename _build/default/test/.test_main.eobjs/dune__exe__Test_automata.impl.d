@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Ast Charclass Gen Glushkov List Lnfa Nfa Parser Printf QCheck2 QCheck_alcotest Rewrite String

@@ -1,0 +1,1 @@
+test/test_bank.ml: Alcotest Array Bank_sim Buffers Float Printf

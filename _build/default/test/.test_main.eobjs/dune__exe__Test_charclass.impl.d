@@ -1,0 +1,1 @@
+test/test_charclass.ml: Alcotest Ast Charclass Gen List Parser Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Ast Gen Glushkov List Lnfa_compile Mode_select Nbva Nbva_compile Nfa Nfa_compile Option Parser Printf Program QCheck2 QCheck_alcotest Rewrite String

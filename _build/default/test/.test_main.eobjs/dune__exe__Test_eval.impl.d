@@ -1,0 +1,1 @@
+test/test_eval.ml: Ablations Alcotest Arch Array Astring_contains Bank_sim Benchmarks Consistency Experiments Export Format Json List Parser Program Runner String

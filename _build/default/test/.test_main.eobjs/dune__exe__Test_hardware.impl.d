@@ -1,0 +1,1 @@
+test/test_hardware.ml: Alcotest Buffers Cam Charclass Circuit Encoding Energy Gen List QCheck2 QCheck_alcotest Switch

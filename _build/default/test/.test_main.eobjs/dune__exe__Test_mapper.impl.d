@@ -1,0 +1,1 @@
+test/test_mapper.ml: Alcotest Arch Array Astring_contains Benchmarks Binning Charclass Format Gen Hashtbl List Mapper Mode_select Option Parser Printf Program QCheck2 QCheck_alcotest Runner String

@@ -1,0 +1,1 @@
+test/test_mnrl.ml: Alcotest Filename Gen Glushkov Json List Mnrl Nfa Option Parser Printf QCheck2 QCheck_alcotest Sys

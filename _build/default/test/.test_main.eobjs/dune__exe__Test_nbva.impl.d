@@ -1,0 +1,1 @@
+test/test_nbva.ml: Alcotest Ast Gen Glushkov List Nbva Nfa Parser Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Charclass Gen List Parser Printf QCheck2 QCheck_alcotest

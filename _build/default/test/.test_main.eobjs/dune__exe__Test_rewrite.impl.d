@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Ast Charclass Gen Glushkov List Nfa Option Parser Printf QCheck2 QCheck_alcotest Rewrite String

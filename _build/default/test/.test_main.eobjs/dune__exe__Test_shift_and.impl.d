@@ -1,0 +1,1 @@
+test/test_shift_and.ml: Alcotest Array Bitvec Char Charclass Format Gen List Lnfa Nfa Option Parser Printf QCheck2 QCheck_alcotest Shift_and String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ast Benchmarks Distributions Float List Mode_select Parser Printf Program String

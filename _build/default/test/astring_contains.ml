@@ -1,0 +1,8 @@
+(* Tiny substring helper for the test suites (no external dependency). *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else
+    let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+    scan 0

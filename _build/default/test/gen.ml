@@ -1,0 +1,47 @@
+(* QCheck generators shared by the property-based suites. *)
+
+open QCheck2
+
+(* Character classes drawn from a small, overlap-prone pool so that random
+   inputs actually exercise transitions. *)
+let cc_pool =
+  [|
+    Charclass.singleton 'a';
+    Charclass.singleton 'b';
+    Charclass.singleton 'c';
+    Charclass.of_string "ab";
+    Charclass.of_string "bc";
+    Charclass.of_range 'a' 'd';
+    Charclass.complement (Charclass.singleton 'a');
+    Charclass.dot;
+  |]
+
+let gen_cc = Gen.map (fun i -> cc_pool.(i)) (Gen.int_bound (Array.length cc_pool - 1))
+
+(* Random regex ASTs.  [max_bound] caps repetition bounds so unfolded sizes
+   stay testable. *)
+let gen_ast ?(max_bound = 6) () =
+  let open Gen in
+  sized_size (int_bound 8) @@ fix (fun self n ->
+      if n <= 0 then map Ast.cls gen_cc
+      else
+        frequency
+          [
+            (3, map Ast.cls gen_cc);
+            (3, map2 Ast.concat (self (n / 2)) (self (n / 2)));
+            (2, map2 Ast.alt (self (n / 2)) (self (n / 2)));
+            (1, map Ast.star (self (n - 1)));
+            (1, map Ast.opt (self (n - 1)));
+            ( 2,
+              map3
+                (fun r m extra -> Ast.repeat r m (Some (m + extra)))
+                (self 0) (int_range 1 max_bound) (int_bound 3) );
+            (1, map2 (fun r m -> Ast.repeat r m (Some m)) (self 0) (int_range 2 max_bound));
+            (1, map2 (fun cc k -> Ast.repeat (Ast.cls cc) 0 (Some k)) gen_cc (int_range 1 max_bound));
+          ])
+
+(* Inputs over the small alphabet the classes above live in. *)
+let gen_input =
+  Gen.(string_size ~gen:(map (fun i -> "abcdx".[i]) (int_bound 4)) (int_range 0 40))
+
+let ast_print r = Ast.to_string r

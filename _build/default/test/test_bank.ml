@@ -1,0 +1,61 @@
+(* Bank-level buffering (sect 3.3): the two-level input buffers must hide
+   short stalls and converge to the slowest array under sustained ones. *)
+
+open Alcotest
+
+let no_stalls chars = Array.make chars 0
+
+let test_no_stalls_full_rate () =
+  let chars = 500 in
+  let stats = Bank_sim.run ~clock_ghz:2.08 ~chars ~stalls:[| no_stalls chars; no_stalls chars |] in
+  check bool "arbiter off" false stats.Bank_sim.arbiter_active;
+  (* broadcast mode: one char per cycle after the 1-cycle fill *)
+  check bool "near clock rate" true (stats.Bank_sim.throughput_gchs > 2.0);
+  check int "everything delivered" (2 * chars) stats.Bank_sim.chars_delivered
+
+let test_burst_stalls_absorbed () =
+  (* one 10-cycle stall burst in a long quiet stream: the 8-entry FIFO
+     keeps the bank from losing (much) bandwidth *)
+  let chars = 400 in
+  let stalls = no_stalls chars in
+  stalls.(100) <- 10;
+  let stats = Bank_sim.run ~clock_ghz:2.0 ~chars ~stalls:[| stalls; no_stalls chars |] in
+  check bool "arbiter on" true stats.Bank_sim.arbiter_active;
+  check bool "some stall cycles hidden" true (stats.Bank_sim.stall_cycles_hidden > 0);
+  (* with the arbiter serving one array per cycle, two arrays cannot beat
+     one char each per two cycles; the stall itself should mostly hide *)
+  check bool "finished close to the arbiter bound" true
+    (stats.Bank_sim.cycles <= (2 * chars) + 20)
+
+let test_sustained_stalls_dominate () =
+  (* every char stalls 4 cycles: throughput must converge to 1/5 rate *)
+  let chars = 300 in
+  let stalls = Array.make chars 4 in
+  let stats = Bank_sim.run ~clock_ghz:2.0 ~chars ~stalls:[| stalls |] in
+  let expected = 2.0 /. 5.0 in
+  check bool
+    (Printf.sprintf "throughput %.3f close to %.3f" stats.Bank_sim.throughput_gchs expected)
+    true
+    (Float.abs (stats.Bank_sim.throughput_gchs -. expected) < 0.05)
+
+let test_fifo_low_water () =
+  let chars = 200 in
+  let stats = Bank_sim.run ~clock_ghz:2.0 ~chars ~stalls:[| no_stalls chars |] in
+  Array.iter
+    (fun occ -> check bool "occupancy bounded by capacity" true (occ <= Buffers.array_input_entries))
+    stats.Bank_sim.min_fifo_occupancy
+
+let test_validation () =
+  check_raises "no arrays" (Invalid_argument "Bank_sim.run: no arrays") (fun () ->
+      ignore (Bank_sim.run ~clock_ghz:2. ~chars:10 ~stalls:[||]));
+  check_raises "trace mismatch" (Invalid_argument "Bank_sim.run: trace length mismatch")
+    (fun () -> ignore (Bank_sim.run ~clock_ghz:2. ~chars:10 ~stalls:[| [| 0 |] |]))
+
+let suite =
+  [
+    test_case "no stalls = full rate" `Quick test_no_stalls_full_rate;
+    test_case "bursts absorbed by FIFOs" `Quick test_burst_stalls_absorbed;
+    test_case "sustained stalls dominate" `Quick test_sustained_stalls_dominate;
+    test_case "fifo low-water marks" `Quick test_fifo_low_water;
+    test_case "input validation" `Quick test_validation;
+  ]

@@ -1,0 +1,126 @@
+open Alcotest
+
+let test_create () =
+  let v = Bitvec.create 100 in
+  check int "width" 100 (Bitvec.width v);
+  check bool "zero" true (Bitvec.is_zero v);
+  check int "popcount" 0 (Bitvec.popcount v)
+
+let test_set_get () =
+  let v = Bitvec.create 130 in
+  Bitvec.set v 0;
+  Bitvec.set v 61;
+  Bitvec.set v 62;
+  Bitvec.set v 129;
+  check bool "bit 0" true (Bitvec.get v 0);
+  check bool "bit 61 (word edge)" true (Bitvec.get v 61);
+  check bool "bit 62 (next word)" true (Bitvec.get v 62);
+  check bool "bit 129 (top)" true (Bitvec.get v 129);
+  check bool "bit 1" false (Bitvec.get v 1);
+  check int "popcount" 4 (Bitvec.popcount v);
+  Bitvec.reset v 61;
+  check bool "reset" false (Bitvec.get v 61);
+  check_raises "oob get" (Invalid_argument "Bitvec: index out of bounds") (fun () ->
+      ignore (Bitvec.get v 130))
+
+let test_shift_left_drops_overflow () =
+  let v = Bitvec.create 5 in
+  Bitvec.set v 4;
+  Bitvec.shift_left1 v ~carry_in:false;
+  check bool "top bit dropped" true (Bitvec.is_zero v);
+  Bitvec.set v 0;
+  Bitvec.shift_left1 v ~carry_in:true;
+  check bool "shifted" true (Bitvec.get v 1);
+  check bool "carry in" true (Bitvec.get v 0)
+
+let test_shift_chain () =
+  (* push a single bit across a word boundary and off the end *)
+  let v = Bitvec.create 70 in
+  Bitvec.set v 0;
+  for _ = 1 to 69 do
+    Bitvec.shift_left1 v ~carry_in:false
+  done;
+  check bool "at position 69" true (Bitvec.get v 69);
+  check int "only one bit" 1 (Bitvec.popcount v);
+  Bitvec.shift_left1 v ~carry_in:false;
+  check bool "gone" true (Bitvec.is_zero v)
+
+let test_shift_right () =
+  let v = Bitvec.create 70 in
+  Bitvec.set v 69;
+  Bitvec.shift_right1 v ~carry_in:false;
+  check bool "at 68" true (Bitvec.get v 68);
+  check int "one bit" 1 (Bitvec.popcount v);
+  let w = Bitvec.create 70 in
+  Bitvec.shift_right1 w ~carry_in:true;
+  check bool "carry enters at top" true (Bitvec.get w 69);
+  check int "one bit" 1 (Bitvec.popcount w)
+
+let test_bulk_ops () =
+  let a = Bitvec.create 64 and b = Bitvec.create 64 in
+  Bitvec.set a 1;
+  Bitvec.set a 10;
+  Bitvec.set b 10;
+  Bitvec.set b 20;
+  let u = Bitvec.copy a in
+  Bitvec.or_in u b;
+  check int "or" 3 (Bitvec.popcount u);
+  let i = Bitvec.copy a in
+  Bitvec.and_in i b;
+  check int "and" 1 (Bitvec.popcount i);
+  check bool "and bit" true (Bitvec.get i 10);
+  let d = Bitvec.copy a in
+  Bitvec.andnot_in d b;
+  check int "andnot" 1 (Bitvec.popcount d);
+  check bool "andnot bit" true (Bitvec.get d 1);
+  check bool "intersects" true (Bitvec.intersects a b);
+  Bitvec.reset b 10;
+  check bool "no longer intersects" false (Bitvec.intersects a b);
+  check_raises "width mismatch" (Invalid_argument "Bitvec: width mismatch") (fun () ->
+      Bitvec.or_in a (Bitvec.create 65))
+
+let test_fill_and_iter () =
+  let v = Bitvec.create 67 in
+  Bitvec.fill_ones v;
+  check int "all ones" 67 (Bitvec.popcount v);
+  Bitvec.shift_left1 v ~carry_in:false;
+  check int "after shift" 66 (Bitvec.popcount v);
+  check bool "bit 0 cleared" false (Bitvec.get v 0);
+  let seen = ref [] in
+  let w = Bitvec.of_bool_array [| true; false; true; false; true |] in
+  Bitvec.iter_set (fun i -> seen := i :: !seen) w;
+  check (list int) "iter_set" [ 0; 2; 4 ] (List.rev !seen)
+
+let test_bool_array_roundtrip () =
+  let bs = Array.init 100 (fun i -> i mod 3 = 0) in
+  let v = Bitvec.of_bool_array bs in
+  check bool "roundtrip" true (bs = Bitvec.to_bool_array v)
+
+let prop_shift_left_equals_multiply =
+  (* compare against an int reference for widths <= 30 *)
+  QCheck2.Test.make ~name:"shift_left1 matches integer shift" ~count:300
+    QCheck2.Gen.(pair (int_range 1 30) (int_bound 0x3FFFFFFF))
+    (fun (width, bits) ->
+      let bits = bits land ((1 lsl width) - 1) in
+      let v = Bitvec.create width in
+      for i = 0 to width - 1 do
+        if (bits lsr i) land 1 = 1 then Bitvec.set v i
+      done;
+      Bitvec.shift_left1 v ~carry_in:false;
+      let expected = (bits lsl 1) land ((1 lsl width) - 1) in
+      let got = ref 0 in
+      Bitvec.iter_set (fun i -> got := !got lor (1 lsl i)) v;
+      !got = expected)
+
+let suite =
+  [
+    test_case "create" `Quick test_create;
+    test_case "set/get across words" `Quick test_set_get;
+    test_case "shift drops overflow" `Quick test_shift_left_drops_overflow;
+    test_case "shift across word boundary" `Quick test_shift_chain;
+    test_case "shift right" `Quick test_shift_right;
+    test_case "bulk operations" `Quick test_bulk_ops;
+    test_case "fill and iterate" `Quick test_fill_and_iter;
+    test_case "bool array roundtrip" `Quick test_bool_array_roundtrip;
+    QCheck_alcotest.to_alcotest prop_shift_left_equals_multiply;
+  ]

@@ -1,0 +1,104 @@
+(* Consistency checker, exports, ablations — the evaluation scaffolding. *)
+
+open Alcotest
+
+let params = Program.default_params
+
+let test_consistency_clean () =
+  (* a healthy mixed rule set must pass the Hyperscan-role check *)
+  let regexes =
+    List.map
+      (fun s -> (s, Parser.parse_exn s))
+      [ "needle"; "a{15}b"; "x.{2,30}y"; "lin[ed]s?"; "(p|q)+r" ]
+  in
+  let input = "needle" ^ String.make 15 'a' ^ "b xqqy pqr lines " ^ String.make 60 'z' in
+  let failures = Consistency.check_set ~params regexes ~input in
+  List.iter (fun f -> Format.printf "%a@." Consistency.pp_failure f) failures;
+  check int "no failures" 0 (List.length failures)
+
+let test_consistency_over_benchmark () =
+  let s = Benchmarks.by_name "Suricata" in
+  let regexes = List.filteri (fun i _ -> i < 40) s.Benchmarks.regexes in
+  let input = s.Benchmarks.make_input ~chars:1_500 in
+  let failures = Consistency.check_set ~params regexes ~input in
+  List.iter (fun f -> Format.printf "%a@." Consistency.pp_failure f) failures;
+  check int "benchmark rules agree with ground truth" 0 (List.length failures)
+
+let test_csv_export () =
+  let cells e a t = { Experiments.energy_uj = e; area_mm2 = a; throughput_gchs = t } in
+  let row =
+    {
+      Experiments.v_suite = "Demo, with comma";
+      baseline = cells 1. 2. 3.;
+      rap_nfa = cells 4. 5. 6.;
+      cama = cells 7. 8. 9.;
+      bvap = cells 1.5 2.5 3.5;
+      ca = cells 0.1 0.2 0.3;
+    }
+  in
+  let csv = Export.versus_to_csv ~baseline_name:"RAP-NBVA" [ row ] in
+  check bool "header present" true (Astring_contains.contains csv "dataset,metric,RAP-NBVA");
+  check bool "comma quoted" true (Astring_contains.contains csv "\"Demo, with comma\"");
+  check int "four lines" 4 (List.length (String.split_on_char '\n' (String.trim csv)))
+
+let test_json_export () =
+  let row =
+    {
+      Experiments.o_suite = "S";
+      o_arch = "RAP";
+      o_area_mm2 = 1.;
+      o_throughput = 2.;
+      o_energy_eff = 3.;
+      o_density = 4.;
+      o_power_w = 5.;
+    }
+  in
+  let j = Export.overall_to_json [ row ] in
+  let s = Json.to_string j in
+  check bool "parses back" true (match Json.of_string_result s with Ok _ -> true | Error _ -> false);
+  check bool "fields present" true (Astring_contains.contains s "energy_efficiency_Gchps_per_W")
+
+let test_ablations () =
+  let env = { Experiments.chars = 1_000; scale = 1 } in
+  let rows = Ablations.run env ~suite:"Yara" ~params in
+  check int "all configurations ran" (List.length Ablations.all_configs) (List.length rows);
+  let find c = List.find (fun r -> r.Ablations.config = c) rows in
+  let full = find Ablations.Full in
+  let no_nbva = find Ablations.No_nbva in
+  check bool "removing NBVA costs area on a repetition suite" true
+    (no_nbva.Ablations.area_mm2 > full.Ablations.area_mm2);
+  check bool "removing NBVA costs energy" true
+    (no_nbva.Ablations.energy_uj > full.Ablations.energy_uj);
+  let no_lnfa = find Ablations.No_lnfa in
+  check bool "removing LNFA does not reduce energy" true
+    (no_lnfa.Ablations.energy_uj >= 0.95 *. full.Ablations.energy_uj);
+  List.iter
+    (fun r -> check bool "positive metrics" true (r.Ablations.energy_uj > 0.))
+    rows
+
+let test_stall_traces_feed_bank () =
+  (* end-to-end: runner stall traces drive the bank model *)
+  let regexes = [ ("g", Parser.parse_exn "g[a-z]{4,40}") ] in
+  let arch = Arch.rap ~bv_depth:8 in
+  let units, _ = Runner.compile_for arch ~params regexes in
+  let placement = Runner.place arch ~params units in
+  let input = String.concat "" (List.init 40 (fun _ -> "gabcdefgh…")) in
+  let input = String.sub input 0 300 in
+  let report, stalls = Runner.run_with_stall_traces arch ~params placement ~input in
+  check int "one array" 1 (Array.length stalls);
+  let total_stall = Array.fold_left (fun acc s -> acc + Array.fold_left ( + ) 0 s) 0 stalls in
+  check int "trace sums to runner stalls" (report.Runner.cycles - report.Runner.chars)
+    total_stall;
+  let bank = Bank_sim.run ~clock_ghz:arch.Arch.clock_ghz ~chars:(String.length input) ~stalls in
+  check bool "bank throughput at least the naive rate" true
+    (bank.Bank_sim.throughput_gchs >= report.Runner.throughput_gchs *. 0.9)
+
+let suite =
+  [
+    test_case "consistency: clean rule set" `Quick test_consistency_clean;
+    test_case "consistency: benchmark sample" `Quick test_consistency_over_benchmark;
+    test_case "csv export" `Quick test_csv_export;
+    test_case "json export" `Quick test_json_export;
+    test_case "ablations" `Quick test_ablations;
+    test_case "stall traces feed the bank model" `Quick test_stall_traces_feed_bank;
+  ]

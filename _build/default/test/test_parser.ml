@@ -1,0 +1,129 @@
+open Alcotest
+
+let parse = Parser.parse_exn
+
+let ast =
+  testable (fun fmt r -> Ast.pp fmt r) Ast.equal
+
+let test_literals () =
+  check ast "single char" (Ast.chr 'a') (parse "a");
+  check ast "string" (Ast.str "abc") (parse "abc");
+  check ast "escaped dot" (Ast.chr '.') (parse "\\.");
+  check ast "hex escape" (Ast.cls (Charclass.of_byte 0x41)) (parse "\\x41");
+  check ast "newline" (Ast.chr '\n') (parse "\\n")
+
+let test_classes () =
+  check ast "simple class" (Ast.cls (Charclass.of_string "abc")) (parse "[abc]");
+  check ast "range" (Ast.cls (Charclass.of_range 'a' 'z')) (parse "[a-z]");
+  check ast "negated"
+    (Ast.cls (Charclass.complement (Charclass.of_string "ab")))
+    (parse "[^ab]");
+  check ast "class with escape" (Ast.cls (Charclass.of_string "]x")) (parse "[\\]x]");
+  check ast "leading ] literal" (Ast.cls (Charclass.of_string "]a")) (parse "[]a]");
+  check ast "digit escape in class"
+    (Ast.cls (Charclass.union Charclass.digit (Charclass.singleton 'x')))
+    (parse "[\\dx]");
+  check ast "dash at end" (Ast.cls (Charclass.of_string "a-")) (parse "[a-]")
+
+let test_escape_classes () =
+  check ast "\\d" (Ast.cls Charclass.digit) (parse "\\d");
+  check ast "\\w" (Ast.cls Charclass.word) (parse "\\w");
+  check ast "\\S" (Ast.cls (Charclass.complement Charclass.space)) (parse "\\S");
+  check ast "dot" (Ast.cls Charclass.dot) (parse ".")
+
+let test_operators () =
+  check ast "alternation" (Ast.alt (Ast.chr 'a') (Ast.chr 'b')) (parse "a|b");
+  check ast "star" (Ast.star (Ast.chr 'a')) (parse "a*");
+  check ast "plus" (Ast.plus (Ast.chr 'a')) (parse "a+");
+  check ast "opt" (Ast.opt (Ast.chr 'a')) (parse "a?");
+  check ast "group" (Ast.concat (Ast.chr 'a') (Ast.star (Ast.str "bc"))) (parse "a(bc)*");
+  check ast "non-capturing group" (Ast.str "ab") (parse "(?:ab)");
+  check ast "precedence: concat binds tighter than alt"
+    (Ast.alt (Ast.str "ab") (Ast.str "cd"))
+    (parse "ab|cd");
+  check ast "non-greedy suffix ignored" (Ast.star (Ast.chr 'a')) (parse "a*?")
+
+let test_bounded_repetition () =
+  check ast "exact" (Ast.repeat (Ast.chr 'a') 3 (Some 3)) (parse "a{3}");
+  check ast "range" (Ast.repeat (Ast.chr 'a') 2 (Some 5)) (parse "a{2,5}");
+  check ast "unbounded" (Ast.repeat (Ast.chr 'a') 2 None) (parse "a{2,}");
+  check ast "on a group" (Ast.repeat (Ast.str "ab") 2 (Some 2)) (parse "(ab){2}");
+  check ast "on a class" (Ast.repeat (Ast.cls Charclass.digit) 4 (Some 4)) (parse "\\d{4}");
+  check ast "literal brace" (Ast.concat (Ast.chr 'a') (Ast.chr '{')) (parse "a{");
+  check ast "x{1} is x" (Ast.chr 'x') (parse "x{1}");
+  check ast "x{0,} is x*" (Ast.star (Ast.chr 'x')) (parse "x{0,}")
+
+let test_anchors () =
+  let p = Parser.parse "^abc$" in
+  check bool "start anchored" true p.Parser.anchored_start;
+  check bool "end anchored" true p.Parser.anchored_end;
+  check ast "body" (Ast.str "abc") p.Parser.ast;
+  let q = Parser.parse "abc" in
+  check bool "not start anchored" false q.Parser.anchored_start;
+  check bool "not end anchored" false q.Parser.anchored_end
+
+let test_paper_examples () =
+  (* regexes appearing in the paper *)
+  let must_parse =
+    [
+      "a([bc]|b.*d)";
+      "a.*bc{5}";
+      "a[bc].d?";
+      "a(.a){3}b";
+      "b(a{7}|c{5})b";
+      "ab(cd){2}e{1,3}f{2,}g{5}";
+      "ab{10,48}cd{34}ef{128}";
+      "a{1024}bc{0,16}";
+      "a(b{1,2}|c)e";
+      "AppPath=[C-Z]:\\\\\\\\[^\\\\]{1,64}\\.exe";
+      "Jeste.{1,8}firm.{1,8}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Parser.parse_result s with
+      | Ok _ -> ()
+      | Error e -> fail (Printf.sprintf "failed to parse %S: %s" s e))
+    must_parse
+
+let test_errors () =
+  let fails s =
+    match Parser.parse_result s with
+    | Ok _ -> fail (Printf.sprintf "%S should not parse" s)
+    | Error _ -> ()
+  in
+  List.iter fails [ "a)"; "(a"; "[a"; "a{3,1}"; "*a"; "a\\"; "[z-a]"; "+b"; "a|*" ]
+
+let test_print_parse_roundtrip () =
+  let cases =
+    [ "a([bc]|b.*d)"; "a(.a){3}b"; "b(a{7}|c{5})b"; "\\d{4}-\\d{2}"; "[^a-z]+x?" ]
+  in
+  List.iter
+    (fun s ->
+      let r = parse s in
+      let r' = parse (Ast.to_string r) in
+      check ast (Printf.sprintf "roundtrip %s" s) r r')
+    cases
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"print/parse roundtrip on random ASTs" ~count:300
+    ~print:Gen.ast_print (Gen.gen_ast ())
+    (fun r ->
+      let s = Ast.to_string r in
+      match Parser.parse_result s with
+      | Error e -> QCheck2.Test.fail_reportf "printed %S failed to parse: %s" s e
+      | Ok p -> Ast.equal r p.Parser.ast)
+
+let suite =
+  [
+    test_case "literals" `Quick test_literals;
+    test_case "character classes" `Quick test_classes;
+    test_case "escape classes" `Quick test_escape_classes;
+    test_case "operators" `Quick test_operators;
+    test_case "bounded repetition" `Quick test_bounded_repetition;
+    test_case "anchors" `Quick test_anchors;
+    test_case "paper examples" `Quick test_paper_examples;
+    test_case "malformed inputs" `Quick test_errors;
+    test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]
