@@ -7,28 +7,59 @@
      rap match    REGEX [INPUT|-]         find matches with the reference engine
      rap compile  REGEX...                show the mode decision and resources
      rap simulate -e REGEX... [INPUT|-]   run the RAP simulator on a rule set
+     rap faults   -e REGEX... --rate R [INPUT|-]   seeded fault-injection campaign
      rap eval     --data Snort,Yara --task DSE|NBVA|LNFA|ASIC|ALL|...
 *)
 
 open Cmdliner
 
+let read_stdin () =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf stdin 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg | Invalid_argument msg ->
+    Printf.eprintf "error: cannot read input file %S: %s\n" path msg;
+    exit 2
+
+(* a positional operand that was probably meant as a file path *)
+let looks_like_path s =
+  s <> ""
+  && (String.contains s '/' || s.[0] = '.' || s.[0] = '~'
+     || List.exists (Filename.check_suffix s) [ ".txt"; ".log"; ".pcap"; ".dat"; ".bin" ])
+
 let read_input = function
   | None -> None
-  | Some "-" ->
-      let buf = Buffer.create 4096 in
-      (try
-         while true do
-           Buffer.add_channel buf stdin 4096
-         done
-       with End_of_file -> ());
-      Some (Buffer.contents buf)
-  | Some path when Sys.file_exists path ->
-      let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      Some s
-  | Some literal -> Some literal
+  | Some "-" -> Some (read_stdin ())
+  | Some path when Sys.file_exists path -> Some (read_file path)
+  | Some literal ->
+      if looks_like_path literal then
+        Printf.eprintf
+          "warning: no such file %S; treating it as literal input (use --file to force a path)\n"
+          literal;
+      Some literal
+
+let file_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "file" ] ~docv:"PATH"
+           ~doc:"Read input from $(docv) (unlike the positional operand, never a literal; \
+                 a missing or unreadable file is an error).")
+
+(* [--file] wins over the positional operand; positional keeps the
+   path-if-it-exists-else-literal convenience, with a warning. *)
+let resolve_input ~file pos =
+  match file with Some path -> Some (read_file path) | None -> read_input pos
 
 (* ---- rap match ---- *)
 
@@ -38,7 +69,7 @@ let match_cmd =
     Arg.(value & pos 1 (some string) None & info [] ~docv:"INPUT" ~doc:"Input text, a file path, or - for stdin.")
   in
   let count_only = Arg.(value & flag & info [ "c"; "count" ] ~doc:"Print only the match count.") in
-  let run regex input count_only =
+  let run regex input file count_only =
     match Rap.matcher regex with
     | Error e ->
         Printf.eprintf "regex error: %s\n" e;
@@ -50,7 +81,7 @@ let match_cmd =
           | Rap.Nbva_engine -> "NBVA"
           | Rap.Shift_and_engine -> "Shift-And"
         in
-        match read_input input with
+        match resolve_input ~file input with
         | None ->
             Printf.printf "engine: %s\n" engine;
             0
@@ -64,7 +95,7 @@ let match_cmd =
             if ends = [] then 1 else 0)
   in
   let doc = "Match a regex against input with the reference software engine." in
-  Cmd.v (Cmd.info "match" ~doc) Term.(const run $ regex $ input $ count_only)
+  Cmd.v (Cmd.info "match" ~doc) Term.(const run $ regex $ input $ file_arg $ count_only)
 
 (* ---- rap compile ---- *)
 
@@ -88,7 +119,9 @@ let compile_cmd =
         match Mode_select.parse_and_compile ~params src with
         | Error e ->
             ok := false;
-            Printf.printf "%-40s ERROR: %s\n" src e
+            Printf.printf "%-40s ERROR [%s]: %s\n" src
+              (Compile_error.reason_label e.Compile_error.reason)
+              (Compile_error.message e)
         | Ok c ->
             let k = c.Program.kind in
             Printf.printf "%-40s %-5s states=%-5d tiles=%d\n" src (Program.mode_name k)
@@ -101,37 +134,142 @@ let compile_cmd =
 
 (* ---- rap simulate ---- *)
 
+let regexes_arg =
+  Arg.(non_empty & opt_all string [] & info [ "e"; "regex" ] ~docv:"REGEX" ~doc:"A rule (repeatable).")
+
+let pos_input_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc:"Input text, file, or -.")
+
+let arch_arg =
+  Arg.(value & opt (enum [ ("rap", `Rap); ("cama", `Cama); ("ca", `Ca); ("bvap", `Bvap) ]) `Rap
+       & info [ "arch" ] ~doc:"Architecture to simulate.")
+
+let arch_of = function
+  | `Rap -> Rap.rap_arch ()
+  | `Cama -> Arch.cama
+  | `Ca -> Arch.ca
+  | `Bvap -> Arch.bvap
+
+let required_input ~file pos =
+  match resolve_input ~file pos with
+  | Some text -> text
+  | None ->
+      Printf.eprintf "error: no input (give INPUT, '-' for stdin, or --file PATH)\n";
+      exit 2
+
+let print_report report =
+  Format.printf "%a@." Runner.pp_report report;
+  Format.printf "energy breakdown:@.%a@." Energy.pp report.Runner.energy
+
 let simulate_cmd =
-  let regexes =
-    Arg.(non_empty & opt_all string [] & info [ "e"; "regex" ] ~docv:"REGEX" ~doc:"A rule (repeatable).")
-  in
-  let input =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"INPUT" ~doc:"Input text, file, or -.")
-  in
-  let arch =
-    Arg.(value & opt (enum [ ("rap", `Rap); ("cama", `Cama); ("ca", `Ca); ("bvap", `Bvap) ]) `Rap
-         & info [ "arch" ] ~doc:"Architecture to simulate.")
-  in
-  let run regexes input arch =
-    let input = Option.value ~default:"" (read_input (Some input)) in
-    let arch =
-      match arch with
-      | `Rap -> Rap.rap_arch ()
-      | `Cama -> Arch.cama
-      | `Ca -> Arch.ca
-      | `Bvap -> Arch.bvap
-    in
-    match Rap.simulate ~arch ~regexes ~input () with
+  let run regexes input file arch =
+    let input = required_input ~file input in
+    match Rap.simulate ~arch:(arch_of arch) ~regexes ~input () with
     | Error e ->
         Printf.eprintf "error: %s\n" e;
         1
     | Ok report ->
-        Format.printf "%a@." Runner.pp_report report;
-        Format.printf "energy breakdown:@.%a@." Energy.pp report.Runner.energy;
+        print_report report;
         0
   in
   let doc = "Run a rule set through the cycle-level hardware simulator." in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ regexes $ input $ arch)
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg)
+
+(* ---- rap faults ---- *)
+
+let faults_cmd =
+  let rates =
+    Arg.(value & opt string "0"
+         & info [ "rate" ] ~docv:"R[,R...]"
+             ~doc:"Transient per-bit per-cycle flip rate; a comma-separated list sweeps a \
+                   degradation curve.")
+  in
+  let seed = Arg.(value & opt int Fault.default_config.Fault.seed
+                  & info [ "seed" ] ~doc:"Campaign seed (campaigns are deterministic per seed).") in
+  let trials = Arg.(value & opt int Fault.default_config.Fault.trials
+                    & info [ "trials" ] ~doc:"Seeded transient-fault trials per rate.") in
+  let cell_rate =
+    Arg.(value & opt float 0.
+         & info [ "defect-rate" ] ~doc:"Per-CAM-column stuck-at probability (permanent).")
+  in
+  let tile_rate =
+    Arg.(value & opt float 0. & info [ "tile-defect-rate" ] ~doc:"Per-tile dead probability.")
+  in
+  let switch_rate =
+    Arg.(value & opt float 0.
+         & info [ "switch-defect-rate" ] ~doc:"Per-crossbar-switch-row stuck-at probability.")
+  in
+  let spares =
+    Arg.(value & opt int Defect.default_spare_cols
+         & info [ "spares" ] ~doc:"Spare CAM columns per tile (repair pool).")
+  in
+  let arrays =
+    Arg.(value & opt int Fault.default_config.Fault.chip_arrays
+         & info [ "arrays" ] ~doc:"Physical arrays on the sampled chip.")
+  in
+  let run regexes input file arch rates seed trials cell_rate tile_rate switch_rate spares arrays =
+    let input = required_input ~file input in
+    let arch = arch_of arch in
+    let params = Program.default_params in
+    let parsed, parse_errors =
+      List.fold_left
+        (fun (ok, errs) src ->
+          match Parser.parse_result src with
+          | Ok p -> ((src, p.Parser.ast) :: ok, errs)
+          | Error e -> (ok, Compile_error.v src (Compile_error.Parse_error e) :: errs))
+        ([], []) regexes
+    in
+    let parsed = List.rev parsed and parse_errors = List.rev parse_errors in
+    List.iter (fun e -> Format.eprintf "dropped: %a@." Compile_error.pp e) parse_errors;
+    if parsed = [] then begin
+      Printf.eprintf "error: no regex parsed\n";
+      exit 2
+    end;
+    let rates =
+      List.map
+        (fun s ->
+          match float_of_string_opt (String.trim s) with
+          | Some r when r >= 0. && r <= 1. -> r
+          | _ ->
+              Printf.eprintf "error: --rate %S is not a probability in [0,1]\n" s;
+              exit 2)
+        (String.split_on_char ',' rates)
+    in
+    let base =
+      {
+        Fault.default_config with
+        Fault.seed;
+        trials;
+        cell_defect_rate = cell_rate;
+        tile_defect_rate = tile_rate;
+        switch_defect_rate = switch_rate;
+        spare_cols = spares;
+        chip_arrays = arrays;
+      }
+    in
+    let status = ref 0 in
+    List.iteri
+      (fun i rate ->
+        let config = { base with Fault.transient_rate = rate } in
+        match Fault.campaign ~arch ~params ~config parsed ~input with
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            status := 1
+        | Ok o ->
+            if i = 0 then print_report o.Fault.o_baseline;
+            Format.printf "== fault campaign: rate=%g seed=%d trials=%d ==@.%a@." rate seed
+              trials Fault.pp_outcome o)
+      rates;
+    !status
+  in
+  let doc =
+    "Run a seeded fault-injection campaign: defect-aware mapping plus per-cycle transient \
+     bit flips, cross-checked against the software reference."
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ rates $ seed $ trials
+          $ cell_rate $ tile_rate $ switch_rate $ spares $ arrays)
 
 (* ---- rap eval ---- *)
 
@@ -276,5 +414,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ match_cmd; compile_cmd; simulate_cmd; eval_cmd; check_cmd; export_cmd; ablate_cmd;
-            mnrl_cmd ]))
+          [ match_cmd; compile_cmd; simulate_cmd; faults_cmd; eval_cmd; check_cmd; export_cmd;
+            ablate_cmd; mnrl_cmd ]))

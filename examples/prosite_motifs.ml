@@ -51,7 +51,7 @@ let () =
             Printf.printf "  %-18s %-36s %-5s %2d states\n" name src
               (Program.mode_name c.Program.kind)
               (Program.num_states c.Program.kind)
-        | Error e -> Printf.printf "  %-18s %-36s ERROR %s\n" name src e);
+        | Error e -> Printf.printf "  %-18s %-36s ERROR %s\n" name src (Compile_error.message e));
         src)
       motifs
   in

@@ -36,7 +36,7 @@ let () =
           Printf.printf "  %-28s %-5s %3d states\n" src
             (Program.mode_name c.Program.kind)
             (Program.num_states c.Program.kind)
-      | Error e -> Printf.printf "  %-28s ERROR %s\n" src e)
+      | Error e -> Printf.printf "  %-28s ERROR %s\n" src (Compile_error.message e))
     rules;
 
   (* Synthesise traffic: mostly benign noise, a few embedded attacks. *)

@@ -1,0 +1,29 @@
+type reason =
+  | Parse_error of string
+  | Unsupported of string
+  | Oversize of { tiles_needed : int; tiles_cap : int }
+  | Resource_exhausted of string
+  | Unplaceable of { tiles_needed : int; detail : string }
+
+type t = { source : string; reason : reason }
+
+let v source reason = { source; reason }
+
+let reason_label = function
+  | Parse_error _ -> "parse-error"
+  | Unsupported _ -> "unsupported"
+  | Oversize _ -> "oversize"
+  | Resource_exhausted _ -> "resource-exhausted"
+  | Unplaceable _ -> "unplaceable"
+
+let message t =
+  match t.reason with
+  | Parse_error msg -> "parse error: " ^ msg
+  | Unsupported msg -> "unsupported: " ^ msg
+  | Oversize { tiles_needed; tiles_cap } ->
+      Printf.sprintf "oversize: needs %d tiles, ceiling is %d" tiles_needed tiles_cap
+  | Resource_exhausted msg -> "resource exhausted: " ^ msg
+  | Unplaceable { tiles_needed; detail } ->
+      Printf.sprintf "unplaceable on defective chip (%d tiles): %s" tiles_needed detail
+
+let pp fmt t = Format.fprintf fmt "%s: %s" t.source (message t)

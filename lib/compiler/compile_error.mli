@@ -1,0 +1,32 @@
+(** Structured per-regex compilation and placement failures.
+
+    The pipeline degrades gracefully: a rule set with some uncompilable or
+    unplaceable regexes still runs, and callers receive one [t] per
+    dropped regex saying exactly what was dropped and why — instead of the
+    historical [Invalid_argument] plumbing that forced string matching on
+    exception messages. *)
+
+type reason =
+  | Parse_error of string  (** The source text is not a valid regex. *)
+  | Unsupported of string
+      (** A construct no backend of the target architecture implements. *)
+  | Oversize of { tiles_needed : int; tiles_cap : int }
+      (** The unit alone exceeds the architecture's placement ceiling
+          (one array). *)
+  | Resource_exhausted of string
+      (** The (defect-free) chip ran out of arrays/tiles for this unit. *)
+  | Unplaceable of { tiles_needed : int; detail : string }
+      (** Defect-induced: the unit fits a pristine array but no surviving
+          array of the sampled chip can host it. *)
+
+type t = { source : string; reason : reason }
+
+val v : string -> reason -> t
+val reason_label : reason -> string
+(** Short stable tag: ["parse-error"], ["unsupported"], ["oversize"],
+    ["resource-exhausted"], ["unplaceable"]. *)
+
+val message : t -> string
+(** One-line human-readable description (without the source). *)
+
+val pp : Format.formatter -> t -> unit

@@ -4,13 +4,21 @@ type piece =
 
 type tile_mode = T_nfa | T_nbva | T_lnfa
 
-type placed_tile = { mode : tile_mode; pieces : piece list }
+type placed_tile = { mode : tile_mode; phys : int; pieces : piece list }
 
 type placement = {
   units : Program.compiled array;
   bins : Binning.bin array;
   arrays : placed_tile array array;
 }
+
+type defect_stats = {
+  dead_tiles_skipped : int;
+  cols_lost : int;
+  cols_repaired : int;
+}
+
+let no_defect_stats = { dead_tiles_skipped = 0; cols_lost = 0; cols_repaired = 0 }
 
 (* Resource demand of one tile piece. *)
 type demand = {
@@ -24,10 +32,12 @@ type demand = {
   d_exclusive : bool;  (* multi-tile bins own their tiles *)
 }
 
-(* Mutable tile under construction. *)
+(* Mutable tile under construction, pinned to a physical slot. *)
 type building = {
   b_mode : tile_mode;
-  b_cap : int;
+  b_cap : int;  (* nominal capacity (sharing-compatibility key) *)
+  b_eff : int;  (* effective capacity after stuck-column losses *)
+  b_phys : int;  (* physical tile index within the array *)
   mutable b_cols : int;
   mutable b_bits : int;
   b_bits_cap : int;
@@ -77,7 +87,7 @@ let fits (b : building) (d : demand) =
   b.b_mode = d.d_mode && b.b_cap = d.d_cap
   && b.b_bits_cap = d.d_bits_cap
   && (not b.b_exclusive) && (not d.d_exclusive)
-  && b.b_cols + d.d_cols <= b.b_cap
+  && b.b_cols + d.d_cols <= b.b_eff
   && b.b_bits + d.d_bv_bits <= b.b_bits_cap
   && (not (b.b_has_r && d.d_has_rall))
   && not (b.b_has_rall && d.d_has_r)
@@ -90,10 +100,12 @@ let add_to (b : building) (d : demand) piece =
   b.b_exclusive <- b.b_exclusive || d.d_exclusive;
   b.b_pieces <- piece :: b.b_pieces
 
-let new_tile (d : demand) piece =
+let new_tile ~phys ~eff (d : demand) piece =
   {
     b_mode = d.d_mode;
     b_cap = d.d_cap;
+    b_eff = eff;
+    b_phys = phys;
     b_cols = d.d_cols;
     b_bits = d.d_bv_bits;
     b_bits_cap = d.d_bits_cap;
@@ -101,6 +113,21 @@ let new_tile (d : demand) piece =
     b_has_rall = d.d_has_rall;
     b_exclusive = d.d_exclusive;
     b_pieces = [ piece ];
+  }
+
+let copy_building b =
+  {
+    b_mode = b.b_mode;
+    b_cap = b.b_cap;
+    b_eff = b.b_eff;
+    b_phys = b.b_phys;
+    b_cols = b.b_cols;
+    b_bits = b.b_bits;
+    b_bits_cap = b.b_bits_cap;
+    b_has_r = b.b_has_r;
+    b_has_rall = b.b_has_rall;
+    b_exclusive = b.b_exclusive;
+    b_pieces = b.b_pieces;
   }
 
 (* A block: all pieces of one unit or one bin, placed atomically into one
@@ -140,49 +167,67 @@ let block_of_bin (bins : Binning.bin array) id =
     tiles_ub = b.Binning.tiles;
   }
 
-(* Try to place a block into an array (a mutable list of building tiles);
-   returns the new tile list on success, None when the array cannot host
-   it.  The attempt works on copies, so failure leaves the array intact. *)
-let try_place (array_tiles : building list) block =
-  let copies =
-    List.map
-      (fun b ->
-        {
-          b_mode = b.b_mode;
-          b_cap = b.b_cap;
-          b_cols = b.b_cols;
-          b_bits = b.b_bits;
-          b_bits_cap = b.b_bits_cap;
-          b_has_r = b.b_has_r;
-          b_has_rall = b.b_has_rall;
-          b_exclusive = b.b_exclusive;
-          b_pieces = b.b_pieces;
-        })
-      array_tiles
-  in
-  let tiles = ref copies in
-  let count = ref (List.length copies) in
+(* Effective capacity of a slot with [usable] of the [tile_cols] nominal
+   CAM columns surviving: demand capacities (which for LNFA are state
+   slots, not columns) shrink proportionally. *)
+let eff_cap ~tile_cols ~usable cap =
+  if usable >= tile_cols then cap else cap * usable / tile_cols
+
+(* An array under construction: free physical slots (defect-reduced) and
+   built tiles, newest first. *)
+type arr = {
+  arr_id : int;
+  mutable free : (int * int) list;  (* (phys, usable cols), ascending *)
+  mutable built : building list;
+}
+
+let fresh_slots defects ~tile_cols id =
+  List.filter_map
+    (fun t ->
+      if Defect.is_dead_tile defects ~array_id:id ~tile:t then None
+      else
+        let u = Defect.usable_cols defects ~array_id:id ~tile:t ~nominal:tile_cols in
+        if u <= 0 then None else Some (t, u))
+    (List.init Circuit.tiles_per_array Fun.id)
+
+(* Try to place a block into an array; returns the updated (free, built)
+   on success, None when the array cannot host it.  The attempt works on
+   copies, so failure leaves the array intact. *)
+let try_place ~tile_cols (ar_free, ar_built) block =
+  let free = ref ar_free in
+  let built = ref (List.map copy_building ar_built) in
   let place (d, piece) =
     let rec find = function
-      | [] ->
-          if !count >= Circuit.tiles_per_array then false
-          else begin
-            tiles := new_tile d piece :: !tiles;
-            incr count;
-            true
-          end
       | b :: rest ->
           if fits b d then begin
             add_to b d piece;
             true
           end
           else find rest
+      | [] ->
+          (* open the first free physical slot that can host this demand *)
+          let rec take acc = function
+            | [] -> false
+            | (phys, usable) :: rest ->
+                let eff = eff_cap ~tile_cols ~usable d.d_cap in
+                if d.d_cols <= eff then begin
+                  free := List.rev_append acc rest;
+                  built := new_tile ~phys ~eff d piece :: !built;
+                  true
+                end
+                else take ((phys, usable) :: acc) rest
+          in
+          take [] !free
     in
-    find !tiles
+    find !built
   in
-  if List.for_all place block.demands then Some !tiles else None
+  if List.for_all place block.demands then Some (!free, !built) else None
 
-let map_units ?(tile_cols = Circuit.tile_cam_cols) ~(params : Program.params) units =
+let pristine_slots ~tile_cols =
+  List.init Circuit.tiles_per_array (fun t -> (t, tile_cols))
+
+let map_units_result ?(defects = Defect.none) ?(tile_cols = Circuit.tile_cam_cols)
+    ~(params : Program.params) units =
   (* collect LNFA lines and bin them *)
   let lines = ref [] in
   Array.iteri
@@ -193,46 +238,171 @@ let map_units ?(tile_cols = Circuit.tile_cam_cols) ~(params : Program.params) un
       | Program.U_nfa _ | Program.U_nbva _ -> ())
     units;
   let bins = Array.of_list (Binning.pack ~max_bin_size:params.Program.bin_size !lines) in
-  (* blocks, largest first *)
+  (* blocks, largest first, each knowing which sources it carries *)
   let blocks = ref [] in
   Array.iteri
     (fun id (c : Program.compiled) ->
       match c.Program.kind with
       | Program.U_lnfa _ -> ()
       | Program.U_nfa _ | Program.U_nbva _ ->
-          let b = block_of_unit ~tile_cols units id in
-          if b.tiles_ub > Circuit.tiles_per_array then
+          blocks := (block_of_unit ~tile_cols units id, [ c.Program.source ]) :: !blocks)
+    units;
+  Array.iteri
+    (fun id (b : Binning.bin) ->
+      let sources =
+        List.sort_uniq compare
+          (List.map (fun (uid, _) -> units.(uid).Program.source) b.Binning.members)
+      in
+      blocks := (block_of_bin bins id, sources) :: !blocks)
+    bins;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare b.tiles_ub a.tiles_ub) !blocks in
+  let arrays : arr list ref = ref [] in
+  let next_array = ref 0 in
+  let drops = ref [] in
+  let record sources reason =
+    List.iter (fun s -> drops := Compile_error.v s reason :: !drops) sources
+  in
+  List.iter
+    (fun (block, sources) ->
+      if block.tiles_ub > Circuit.tiles_per_array then
+        record sources
+          (Compile_error.Oversize
+             { tiles_needed = block.tiles_ub; tiles_cap = Circuit.tiles_per_array })
+      else if try_place ~tile_cols (pristine_slots ~tile_cols, []) block = None then
+        record sources (Compile_error.Resource_exhausted "block does not fit an empty array")
+      else begin
+        let rec attempt = function
+          | ar :: rest -> (
+              match try_place ~tile_cols (ar.free, ar.built) block with
+              | Some (free, built) ->
+                  ar.free <- free;
+                  ar.built <- built
+              | None -> attempt rest)
+          | [] -> open_new ()
+        and open_new () =
+          if not (Defect.array_exists defects !next_array) then
+            record sources
+              (Compile_error.Unplaceable
+                 { tiles_needed = block.tiles_ub; detail = "no surviving array can host it" })
+          else begin
+            let id = !next_array in
+            incr next_array;
+            let ar = { arr_id = id; free = fresh_slots defects ~tile_cols id; built = [] } in
+            arrays := !arrays @ [ ar ];
+            match try_place ~tile_cols (ar.free, ar.built) block with
+            | Some (free, built) ->
+                ar.free <- free;
+                ar.built <- built
+            | None -> open_new ()
+          end
+        in
+        attempt !arrays
+      end)
+    sorted;
+  let finish (b : building) = { mode = b.b_mode; phys = b.b_phys; pieces = List.rev b.b_pieces } in
+  let used = List.filter (fun ar -> ar.built <> []) !arrays in
+  let arrays_out =
+    Array.of_list (List.map (fun ar -> Array.of_list (List.rev_map finish ar.built)) used)
+  in
+  let dstats =
+    if Defect.is_trivial defects then no_defect_stats
+    else
+      List.fold_left
+        (fun acc ar ->
+          let acc = ref acc in
+          for t = 0 to Circuit.tiles_per_array - 1 do
+            if Defect.is_dead_tile defects ~array_id:ar.arr_id ~tile:t then
+              acc := { !acc with dead_tiles_skipped = !acc.dead_tiles_skipped + 1 }
+            else begin
+              let lost, repaired = Defect.tile_loss defects ~array_id:ar.arr_id ~tile:t in
+              acc :=
+                {
+                  !acc with
+                  cols_lost = !acc.cols_lost + lost;
+                  cols_repaired = !acc.cols_repaired + repaired;
+                }
+            end
+          done;
+          !acc)
+        no_defect_stats used
+  in
+  let drops = List.rev !drops in
+  if drops = [] then ({ units; bins; arrays = arrays_out }, [], dstats)
+  else begin
+    (* graceful degradation: keep only placed units/bins, remapping ids so
+       the placement stays self-contained *)
+    let unit_placed = Array.make (Array.length units) false in
+    let bin_placed = Array.make (max 1 (Array.length bins)) false in
+    Array.iter
+      (fun tiles ->
+        Array.iter
+          (fun (t : placed_tile) ->
+            List.iter
+              (function
+                | P_unit { unit_id; _ } -> unit_placed.(unit_id) <- true
+                | P_bin { bin_id; _ } -> bin_placed.(bin_id) <- true)
+              t.pieces)
+          tiles)
+      arrays_out;
+    Array.iteri
+      (fun id (b : Binning.bin) ->
+        if bin_placed.(id) then
+          List.iter (fun (uid, _) -> unit_placed.(uid) <- true) b.Binning.members)
+      bins;
+    let unit_map = Array.make (Array.length units) (-1) in
+    let kept_units = ref [] and n = ref 0 in
+    Array.iteri
+      (fun id c ->
+        if unit_placed.(id) then begin
+          unit_map.(id) <- !n;
+          incr n;
+          kept_units := c :: !kept_units
+        end)
+      units;
+    let bin_map = Array.make (max 1 (Array.length bins)) (-1) in
+    let kept_bins = ref [] and nb = ref 0 in
+    Array.iteri
+      (fun id b ->
+        if bin_placed.(id) then begin
+          bin_map.(id) <- !nb;
+          incr nb;
+          kept_bins := b :: !kept_bins
+        end)
+      bins;
+    let remap = function
+      | P_unit { unit_id; local_tile } -> P_unit { unit_id = unit_map.(unit_id); local_tile }
+      | P_bin { bin_id; bin_tile } -> P_bin { bin_id = bin_map.(bin_id); bin_tile }
+    in
+    let arrays_out =
+      Array.map
+        (Array.map (fun t -> { t with pieces = List.map remap t.pieces }))
+        arrays_out
+    in
+    ( {
+        units = Array.of_list (List.rev !kept_units);
+        bins = Array.of_list (List.rev !kept_bins);
+        arrays = arrays_out;
+      },
+      drops,
+      dstats )
+  end
+
+let map_units ?(tile_cols = Circuit.tile_cam_cols) ~(params : Program.params) units =
+  (* historical exception contract: oversize units raise *)
+  Array.iteri
+    (fun id (c : Program.compiled) ->
+      match c.Program.kind with
+      | Program.U_lnfa _ -> ()
+      | k ->
+          let n = Program.num_tiles k in
+          if n > Circuit.tiles_per_array then
             invalid_arg
               (Printf.sprintf "Mapper: unit %d (%s) needs %d tiles, exceeding one array" id
-                 c.Program.source b.tiles_ub);
-          blocks := b :: !blocks)
+                 c.Program.source n))
     units;
-  Array.iteri (fun id _ -> blocks := block_of_bin bins id :: !blocks) bins;
-  let sorted = List.sort (fun a b -> compare b.tiles_ub a.tiles_ub) !blocks in
-  let arrays : building list ref list ref = ref [] in
-  List.iter
-    (fun block ->
-      let rec attempt = function
-        | [] ->
-            let fresh = ref [] in
-            (match try_place [] block with
-            | Some tiles -> fresh := tiles
-            | None -> invalid_arg "Mapper: block does not fit an empty array");
-            arrays := !arrays @ [ fresh ]
-        | ar :: rest -> (
-            match try_place !ar block with
-            | Some tiles -> ar := tiles
-            | None -> attempt rest)
-      in
-      attempt !arrays)
-    sorted;
-  let finish (b : building) = { mode = b.b_mode; pieces = List.rev b.b_pieces } in
-  {
-    units;
-    bins;
-    arrays =
-      Array.of_list (List.map (fun ar -> Array.of_list (List.rev_map finish !ar)) !arrays);
-  }
+  match map_units_result ~defects:Defect.none ~tile_cols ~params units with
+  | p, [], _ -> p
+  | _, _ :: _, _ -> invalid_arg "Mapper: block does not fit an empty array"
 
 let array_of_unit p id =
   let found = ref None in
@@ -301,13 +471,17 @@ let pp_stats fmt s =
   Format.fprintf fmt "arrays=%d tiles=%d cols=%d col-util=%.1f%% tile-util=%.1f%%" s.num_arrays
     s.num_tiles s.cols_used (100. *. s.col_utilisation) (100. *. s.tile_utilisation)
 
+let pp_defect_stats fmt d =
+  Format.fprintf fmt "dead-tiles=%d cols-lost=%d cols-repaired=%d" d.dead_tiles_skipped
+    d.cols_lost d.cols_repaired
+
 let pp_placement fmt p =
   Format.fprintf fmt "@[<v>";
   Array.iteri
     (fun ai tiles ->
       Format.fprintf fmt "array %d (%d tiles):@," ai (Array.length tiles);
-      Array.iteri
-        (fun ti (t : placed_tile) ->
+      Array.iter
+        (fun (t : placed_tile) ->
           let mode =
             match t.mode with T_nfa -> "NFA " | T_nbva -> "NBVA" | T_lnfa -> "LNFA"
           in
@@ -325,7 +499,7 @@ let pp_placement fmt p =
                       (List.length b.Binning.members))
               t.pieces
           in
-          Format.fprintf fmt "  tile %2d [%s] %s@," ti mode (String.concat " " pieces))
+          Format.fprintf fmt "  tile %2d [%s] %s@," t.phys mode (String.concat " " pieces))
         tiles)
     p.arrays;
   Format.fprintf fmt "%a@]" pp_stats (stats p)

@@ -1,4 +1,4 @@
-(** Greedy hardware mapping (paper §4.3).
+(** Greedy hardware mapping (paper §4.3), optionally defect-aware.
 
     The mapper packs at {e tile-piece} granularity: every compiled unit
     (and every LNFA bin) contributes a sequence of tile pieces; pieces of
@@ -14,6 +14,12 @@
        [rAll] reads in one tile;}
     {- LNFA bins own their tiles (the region layout is bin-wide).}}
 
+    With a {!Defect.t} map ({!map_units_result}) placement becomes
+    defect-aware: dead tiles are skipped, stuck CAM columns shrink a
+    tile's effective capacity after spare-column repair, and blocks that
+    no surviving array can host are dropped with a structured
+    {!Compile_error.t} instead of aborting the whole rule set.
+
     The paper reports >90% utilisation from its grouping mapper; {!stats}
     exposes the same measure. *)
 
@@ -23,7 +29,11 @@ type piece =
 
 type tile_mode = T_nfa | T_nbva | T_lnfa
 
-type placed_tile = { mode : tile_mode; pieces : piece list }
+type placed_tile = {
+  mode : tile_mode;
+  phys : int;  (** Physical tile index within the array (defects skip slots). *)
+  pieces : piece list;
+}
 
 type placement = {
   units : Program.compiled array;
@@ -31,11 +41,34 @@ type placement = {
   arrays : placed_tile array array;  (** Each inner array has <= 16 tiles. *)
 }
 
+type defect_stats = {
+  dead_tiles_skipped : int;  (** Dead tiles inside arrays the placement uses. *)
+  cols_lost : int;  (** Unrepaired stuck columns (CAM beyond spares + switch rows). *)
+  cols_repaired : int;  (** Stuck CAM columns repaired from the spare pool. *)
+}
+
+val no_defect_stats : defect_stats
+
 val map_units :
   ?tile_cols:int -> params:Program.params -> Program.compiled array -> placement
 (** [tile_cols] (default 128) is the column capacity of a tile — the CA
     baseline maps onto 256-column tiles.  Raises [Invalid_argument] when
-    some unit alone exceeds one array. *)
+    some unit alone exceeds one array (historical contract; prefer
+    {!map_units_result}). *)
+
+val map_units_result :
+  ?defects:Defect.t ->
+  ?tile_cols:int ->
+  params:Program.params ->
+  Program.compiled array ->
+  placement * Compile_error.t list * defect_stats
+(** Defect-aware, non-raising mapping.  Unplaceable blocks are dropped and
+    reported (one error per affected source regex); the returned placement
+    contains only placed units and bins, reindexed.  With [Defect.none]
+    and no drops the placement is identical to {!map_units}'s.  An LNFA
+    regex whose lines spread over several bins may be partially placed
+    when one of its bins is dropped; it is then reported dropped while its
+    surviving lines still match. *)
 
 val array_of_unit : placement -> int -> int option
 (** Which array hosts the unit (None for LNFA units, whose lines live in
@@ -53,6 +86,7 @@ type stats = {
 
 val stats : placement -> stats
 val pp_stats : Format.formatter -> stats -> unit
+val pp_defect_stats : Format.formatter -> defect_stats -> unit
 
 val pp_placement : Format.formatter -> placement -> unit
 (** Human-readable floorplan: one line per tile with its mode, occupancy

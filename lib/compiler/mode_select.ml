@@ -25,10 +25,15 @@ let compile ~params ~source r =
   | Some c -> c
   | None -> (* the decision graph only picks feasible modes *) assert false
 
+let compile_result ~params ~source r =
+  (* the decision graph only picks feasible modes; a residual
+     [Invalid_argument] from a backend means the construct is beyond what
+     the target implements *)
+  match compile ~params ~source r with
+  | c -> Ok c
+  | exception Invalid_argument msg -> Error (Compile_error.v source (Compile_error.Unsupported msg))
+
 let parse_and_compile ~params s =
   match Parser.parse_result s with
-  | Error e -> Error e
-  | Ok p -> (
-      match compile ~params ~source:s p.Parser.ast with
-      | c -> Ok c
-      | exception Invalid_argument msg -> Error msg)
+  | Error e -> Error (Compile_error.v s (Compile_error.Parse_error e))
+  | Ok p -> compile_result ~params ~source:s p.Parser.ast

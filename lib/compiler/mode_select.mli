@@ -26,6 +26,12 @@ val compile_as :
     LNFA requested for a non-linearisable regex). NFA mode always
     succeeds. *)
 
+val compile_result :
+  params:Program.params -> source:string -> Ast.t -> (Program.compiled, Compile_error.t) result
+(** Non-raising {!compile}: backend failures surface as structured
+    {!Compile_error.t} values instead of [Invalid_argument]. *)
+
 val parse_and_compile :
-  params:Program.params -> string -> (Program.compiled, string) result
-(** Convenience: parse then [compile]. *)
+  params:Program.params -> string -> (Program.compiled, Compile_error.t) result
+(** Convenience: parse then [compile], with parse failures reported as
+    [Compile_error.Parse_error]. *)

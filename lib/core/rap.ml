@@ -79,7 +79,9 @@ let simulate ?arch ?(params = default_params) ~regexes ~input () =
     if units = [] then
       Error
         (match errors with
-        | (src, msg) :: _ -> Printf.sprintf "no regex compiled (%s: %s)" src msg
+        | e :: _ ->
+            Printf.sprintf "no regex compiled (%s: %s)" e.Compile_error.source
+              (Compile_error.message e)
         | [] -> "no regex compiled")
     else
       let placement = Runner.place arch ~params units in

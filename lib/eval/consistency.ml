@@ -14,22 +14,28 @@ let engine_report_positions engines input =
     input;
   List.rev !acc
 
-let engines_for ~params ast =
-  match Mode_select.compile ~params ~source:"check" ast with
-  | { Program.kind = Program.U_nfa u; _ } -> ("NFA", [ Engine.of_nfa_unit ~ast u ])
-  | { Program.kind = Program.U_nbva u; _ } -> ("NBVA", [ Engine.of_nbva_unit u ])
-  | { Program.kind = Program.U_lnfa u; _ } ->
+let engines_for ~params ~ast (c : Program.compiled) =
+  match c.Program.kind with
+  | Program.U_nfa u -> ("NFA", [ Engine.of_nfa_unit ~ast u ])
+  | Program.U_nbva u -> ("NBVA", [ Engine.of_nbva_unit u ])
+  | Program.U_lnfa u ->
       (* the regex's lines, binned exactly as the mapper would bin them *)
       let lines = List.mapi (fun i l -> (i, l)) u.Program.lines in
       let bins = Binning.pack ~max_bin_size:params.Program.bin_size lines in
       ("LNFA", List.map Engine.of_bin bins)
 
 let check_regex ~params (source, ast) ~input =
-  match engines_for ~params ast with
-  | exception Invalid_argument msg ->
-      Some { source; mode = "(compile error)"; expected = []; got = []; }
-      |> Option.map (fun f -> { f with mode = "(compile error: " ^ msg ^ ")" })
-  | mode, engines ->
+  match Mode_select.compile_result ~params ~source ast with
+  | Error e ->
+      Some
+        {
+          source;
+          mode = Printf.sprintf "(%s)" (Compile_error.message e);
+          expected = [];
+          got = [];
+        }
+  | Ok c ->
+      let mode, engines = engines_for ~params ~ast c in
       let expected = Nfa.match_ends (Glushkov.compile ast) input in
       let got = engine_report_positions engines input in
       if expected = got then None else Some { source; mode; expected; got }

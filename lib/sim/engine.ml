@@ -299,3 +299,54 @@ let tile_bv_cols t i =
 
 let max_bv_size = function E_nfa _ | E_bin _ -> 0 | E_nbva e -> e.nb_max_bv
 let bv_depth = function E_nfa _ | E_bin _ -> 0 | E_nbva e -> e.nu.Program.depth
+
+(* ------------------------------------------------------------------ *)
+(* Transient-fault surface: every state bit the hardware stores between
+   symbols.  NFA/NBVA engines expose the active vector (one bit per STE)
+   followed by every BV word bit, in state order; LNFA bins expose the
+   packed Shift-And state vector.  Flipping an active bit corrupts the
+   availability seen by successors at the next symbol; flipping a BV bit
+   corrupts the repetition counter — exactly the soft-error modes of the
+   8T-SRAM CAM cells and BV words. *)
+
+let nbva_bits nbva st =
+  ignore st;
+  Nbva.num_states nbva + Nbva.total_bv_bits nbva
+
+let nbva_flip nbva st i =
+  let n = Nbva.num_states nbva in
+  if i < n then begin
+    let out = Nbva.outputs st in
+    out.(i) <- not out.(i)
+  end
+  else begin
+    let rest = ref (i - n) in
+    let flipped = ref false in
+    Array.iter
+      (fun v ->
+        match v with
+        | Some v when not !flipped ->
+            let w = Bitvec.width v in
+            if !rest < w then begin
+              (if Bitvec.get v !rest then Bitvec.reset v !rest else Bitvec.set v !rest);
+              flipped := true
+            end
+            else rest := !rest - w
+        | Some _ | None -> ())
+      (Nbva.vectors st);
+    if not !flipped then invalid_arg "Engine.flip_state_bit: index out of range"
+  end
+
+let state_bits = function
+  | E_nfa e -> nbva_bits e.exec e.exec_st
+  | E_nbva e -> nbva_bits e.nu.Program.nbva e.nb_st
+  | E_bin e -> Bitvec.width (Shift_and.state_vector e.sa_st)
+
+let flip_state_bit t i =
+  if i < 0 || i >= state_bits t then invalid_arg "Engine.flip_state_bit: index out of range";
+  match t with
+  | E_nfa e -> nbva_flip e.exec e.exec_st i
+  | E_nbva e -> nbva_flip e.nu.Program.nbva e.nb_st i
+  | E_bin e ->
+      let v = Shift_and.state_vector e.sa_st in
+      if Bitvec.get v i then Bitvec.reset v i else Bitvec.set v i

@@ -64,3 +64,17 @@ val max_bv_size : t -> int
 val bv_depth : t -> int
 (** BV depth of an NBVA engine's unit (words per processing phase);
     0 for other engines. *)
+
+(** {1 Transient-fault surface}
+
+    Every state bit the engine stores between symbols: the active vector
+    (one bit per STE) followed by every BV word bit for NFA/NBVA engines,
+    the packed Shift-And state vector for LNFA bins.  {!Fault} flips these
+    between symbols to model soft errors in the 8T-SRAM cells. *)
+
+val state_bits : t -> int
+(** Size of the fault surface. *)
+
+val flip_state_bit : t -> int -> unit
+(** Flip one stored state bit (0-based); the corruption propagates from
+    the next {!step} on.  Raises [Invalid_argument] out of range. *)

@@ -1,0 +1,227 @@
+(* See fault.mli. *)
+
+(* splitmix64: tiny, fast, and independent of Stdlib.Random so campaigns
+   are reproducible regardless of what else the process randomises. *)
+type rng = { mutable s : int64 }
+
+let make_rng seed = { s = Int64.of_int seed }
+
+let next_u64 r =
+  r.s <- Int64.add r.s 0x9E3779B97F4A7C15L;
+  let z = r.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand_float r =
+  (* top 53 bits -> [0,1) *)
+  Int64.to_float (Int64.shift_right_logical (next_u64 r) 11) *. (1. /. 9007199254740992.)
+
+let rand_int r n =
+  if n <= 0 then invalid_arg "Fault.rand_int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 r) 1) (Int64.of_int n))
+
+type config = {
+  seed : int;
+  trials : int;
+  transient_rate : float;
+  cell_defect_rate : float;
+  tile_defect_rate : float;
+  switch_defect_rate : float;
+  chip_arrays : int;
+  spare_cols : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    trials = 5;
+    transient_rate = 0.;
+    cell_defect_rate = 0.;
+    tile_defect_rate = 0.;
+    switch_defect_rate = 0.;
+    chip_arrays = 64;
+    spare_cols = Defect.default_spare_cols;
+  }
+
+let sample_defects ~rng (c : config) =
+  if c.cell_defect_rate <= 0. && c.tile_defect_rate <= 0. && c.switch_defect_rate <= 0. then
+    Defect.none
+  else begin
+    let dead = ref [] and cam = ref [] and sw = ref [] in
+    for a = 0 to c.chip_arrays - 1 do
+      for t = 0 to Circuit.tiles_per_array - 1 do
+        if rand_float rng < c.tile_defect_rate then dead := (a, t) :: !dead
+        else begin
+          for col = 0 to Circuit.tile_cam_cols - 1 do
+            if rand_float rng < c.cell_defect_rate then cam := (a, t, col) :: !cam
+          done;
+          for row = 0 to Circuit.tile_cam_cols - 1 do
+            if rand_float rng < c.switch_defect_rate then sw := (a, t, row) :: !sw
+          done
+        end
+      done
+    done;
+    Defect.create ~chip_arrays:c.chip_arrays ~spare_cols:c.spare_cols ~dead_tiles:!dead
+      ~stuck_cam_cols:!cam ~stuck_switch_rows:!sw ()
+  end
+
+let inject ~rng ~rate engines =
+  if rate <= 0. then 0
+  else begin
+    let flips = ref 0 in
+    Array.iter
+      (fun e ->
+        let n = Engine.state_bits e in
+        for i = 0 to n - 1 do
+          if rand_float rng < rate then begin
+            Engine.flip_state_bit e i;
+            incr flips
+          end
+        done)
+      engines;
+    !flips
+  end
+
+type trial = {
+  t_index : int;
+  t_flips : int;
+  t_missed : int;
+  t_false : int;
+  t_reports : int;
+  t_cycles : int;
+  t_throughput_gchs : float;
+}
+
+type outcome = {
+  o_baseline : Runner.report;
+  o_degraded : Runner.report;
+  o_compile_errors : Compile_error.t list;
+  o_baseline_drops : Compile_error.t list;
+  o_drops : Compile_error.t list;
+  o_defect_stats : Mapper.defect_stats;
+  o_defects : Defect.t;
+  o_trials : trial list;
+  o_reference_matches : int;
+}
+
+let correctness_rate o =
+  match o.o_trials with
+  | [] -> 1.
+  | ts ->
+      let ok = List.length (List.filter (fun t -> t.t_missed = 0 && t.t_false = 0) ts) in
+      float_of_int ok /. float_of_int (List.length ts)
+
+let favg f o =
+  match o.o_trials with
+  | [] -> 0.
+  | ts -> List.fold_left (fun acc t -> acc +. f t) 0. ts /. float_of_int (List.length ts)
+
+let avg_missed = favg (fun t -> float_of_int t.t_missed)
+let avg_false = favg (fun t -> float_of_int t.t_false)
+let avg_throughput_gchs = favg (fun t -> t.t_throughput_gchs)
+
+let utilisation_loss o =
+  o.o_baseline.Runner.mapper_stats.Mapper.col_utilisation
+  -. o.o_degraded.Runner.mapper_stats.Mapper.col_utilisation
+
+(* Per-trial seed derivation: decorrelate trials without consuming the
+   campaign stream. *)
+let trial_seed seed i = seed lxor ((i + 1) * 0x9E3779B9)
+
+let campaign ~arch ~params ~config regexes ~input =
+  let compiled, compile_errors = Runner.compile_for arch ~params regexes in
+  if compiled = [] then Error "no regex compiled"
+  else begin
+    let baseline_p, baseline_drops, _ =
+      Runner.place_result ~defects:Defect.none arch ~params compiled
+    in
+    let baseline = Runner.run arch ~params baseline_p ~input in
+    let defects = sample_defects ~rng:(make_rng config.seed) config in
+    let degraded_p, drops, defect_stats =
+      Runner.place_result ~defects arch ~params compiled
+    in
+    let degraded =
+      if Defect.is_trivial defects then baseline else Runner.run arch ~params degraded_p ~input
+    in
+    (* software reference over the regexes that actually made it onto the
+       (possibly degraded) chip *)
+    let dropped_sources =
+      List.map (fun (e : Compile_error.t) -> e.Compile_error.source) (baseline_drops @ drops)
+    in
+    let placed_sources =
+      Array.to_list
+        (Array.map (fun (c : Program.compiled) -> c.Program.source) degraded_p.Mapper.units)
+    in
+    let chars = String.length input in
+    let reference = Array.make (max 1 chars) false in
+    List.iter
+      (fun (source, ast) ->
+        if List.mem source placed_sources && not (List.mem source dropped_sources) then
+          List.iter (fun p -> reference.(p) <- true) (Nfa.match_ends (Glushkov.compile ast) input))
+      regexes;
+    let reference_matches =
+      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 reference
+    in
+    let run_trial i =
+      let rng = make_rng (trial_seed config.seed i) in
+      let hits = Array.make (max 1 chars) false in
+      let flips = ref 0 in
+      let observe ~array_id:_ ~sym engines =
+        Array.iter (fun e -> if Engine.reports e > 0 then hits.(sym) <- true) engines;
+        flips := !flips + inject ~rng ~rate:config.transient_rate engines
+      in
+      let r = Runner.run ~observe arch ~params degraded_p ~input in
+      let missed = ref 0 and false_pos = ref 0 in
+      for p = 0 to chars - 1 do
+        if reference.(p) && not hits.(p) then incr missed;
+        if hits.(p) && not reference.(p) then incr false_pos
+      done;
+      {
+        t_index = i;
+        t_flips = !flips;
+        t_missed = !missed;
+        t_false = !false_pos;
+        t_reports = r.Runner.match_reports;
+        t_cycles = r.Runner.cycles;
+        t_throughput_gchs = r.Runner.throughput_gchs;
+      }
+    in
+    let trials = List.init (max 0 config.trials) run_trial in
+    Ok
+      {
+        o_baseline = baseline;
+        o_degraded = degraded;
+        o_compile_errors = compile_errors;
+        o_baseline_drops = baseline_drops;
+        o_drops = drops;
+        o_defect_stats = defect_stats;
+        o_defects = defects;
+        o_trials = trials;
+        o_reference_matches = reference_matches;
+      }
+  end
+
+let pp_trial fmt t =
+  Format.fprintf fmt "trial %2d: %6d flips, %4d missed, %4d false, %6d reports, %7d cycles, %.3f Gch/s"
+    t.t_index t.t_flips t.t_missed t.t_false t.t_reports t.t_cycles t.t_throughput_gchs
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "%a@," Defect.pp o.o_defects;
+  if o.o_defect_stats <> Mapper.no_defect_stats then
+    Format.fprintf fmt "capacity: %a@," Mapper.pp_defect_stats o.o_defect_stats;
+  List.iter
+    (fun e -> Format.fprintf fmt "compile error: %a@," Compile_error.pp e)
+    o.o_compile_errors;
+  List.iter (fun e -> Format.fprintf fmt "dropped: %a@," Compile_error.pp e) o.o_baseline_drops;
+  List.iter (fun e -> Format.fprintf fmt "dropped: %a@," Compile_error.pp e) o.o_drops;
+  List.iter (fun t -> Format.fprintf fmt "%a@," pp_trial t) o.o_trials;
+  let b = o.o_baseline and d = o.o_degraded in
+  Format.fprintf fmt
+    "correctness %.1f%% | avg missed %.1f / false %.1f (of %d reference matches) | throughput %.3f -> %.3f Gch/s | col-util %.1f%% -> %.1f%% (loss %.1f%%)@]"
+    (100. *. correctness_rate o) (avg_missed o) (avg_false o) o.o_reference_matches
+    b.Runner.throughput_gchs (avg_throughput_gchs o)
+    (100. *. b.Runner.mapper_stats.Mapper.col_utilisation)
+    (100. *. d.Runner.mapper_stats.Mapper.col_utilisation)
+    (100. *. utilisation_loss o)

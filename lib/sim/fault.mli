@@ -1,0 +1,109 @@
+(** Seeded, deterministic fault model and campaign driver.
+
+    Two fault classes, both keyed off one seed so campaigns are exactly
+    reproducible run-to-run:
+
+    {ul
+    {- {e Permanent defects} — stuck-at CAM cells (column granularity),
+       dead tiles and stuck crossbar switch rows, sampled once per
+       campaign into a {!Defect.t} that the mapper consumes: placement
+       skips dead tiles, repairs stuck CAM columns from the per-tile
+       spare-column pool, and drops (with a structured reason) whatever no
+       surviving array can host.}
+    {- {e Transient faults} — per-cycle, per-bit flips in the stored
+       active vectors and BV words ({!Engine.flip_state_bit}) at a
+       configurable rate, injected through {!Runner.run}'s [observe]
+       hook.}}
+
+    {!campaign} runs [trials] seeded trials of a rule set, cross-checks
+    each against the software reference (the {!Consistency} methodology)
+    and reports functional-correctness rate, missed/false match counts and
+    throughput/utilisation degradation.  A zero-rate, zero-defect campaign
+    is bit-identical to the fault-free {!Runner.run} report. *)
+
+(** {1 Deterministic PRNG} (splitmix64; independent of [Stdlib.Random]) *)
+
+type rng
+
+val make_rng : int -> rng
+val rand_float : rng -> float
+(** Uniform in [\[0, 1)]. *)
+
+val rand_int : rng -> int -> int
+(** [rand_int r n] is uniform in [\[0, n)]; [n > 0]. *)
+
+(** {1 Campaign configuration} *)
+
+type config = {
+  seed : int;
+  trials : int;
+  transient_rate : float;  (** Per-bit per-cycle flip probability. *)
+  cell_defect_rate : float;  (** Per-CAM-column stuck-at probability. *)
+  tile_defect_rate : float;  (** Per-tile dead probability. *)
+  switch_defect_rate : float;  (** Per-switch-row stuck-at probability. *)
+  chip_arrays : int;  (** Physical arrays on the sampled chip. *)
+  spare_cols : int;  (** Spare CAM columns per tile (repair pool). *)
+}
+
+val default_config : config
+(** seed 1, 5 trials, all rates 0, 64 arrays, {!Defect.default_spare_cols}
+    spares. *)
+
+val sample_defects : rng:rng -> config -> Defect.t
+(** Bernoulli-sample a chip's permanent defect map.  All-zero defect rates
+    yield {!Defect.none} (pristine, unbounded chip). *)
+
+val inject : rng:rng -> rate:float -> Engine.t array -> int
+(** Flip each stored state bit of each engine with probability [rate];
+    returns the number of flips. *)
+
+(** {1 Campaign} *)
+
+type trial = {
+  t_index : int;
+  t_flips : int;  (** Transient bit flips injected in this trial. *)
+  t_missed : int;  (** Reference match positions the faulty hardware missed. *)
+  t_false : int;  (** Hardware report positions the reference rejects. *)
+  t_reports : int;  (** Total reporting-STE activations. *)
+  t_cycles : int;
+  t_throughput_gchs : float;
+}
+
+type outcome = {
+  o_baseline : Runner.report;  (** Pristine, fault-free run. *)
+  o_degraded : Runner.report;
+      (** Fault-free run of the defect-aware placement (equals
+          [o_baseline] on a pristine chip). *)
+  o_compile_errors : Compile_error.t list;  (** Regexes no backend accepts. *)
+  o_baseline_drops : Compile_error.t list;  (** Dropped even defect-free (oversize). *)
+  o_drops : Compile_error.t list;  (** Defect-induced placement drops. *)
+  o_defect_stats : Mapper.defect_stats;
+  o_defects : Defect.t;
+  o_trials : trial list;
+  o_reference_matches : int;  (** Reference match positions for placed regexes. *)
+}
+
+val correctness_rate : outcome -> float
+(** Fraction of trials with zero missed and zero false matches. *)
+
+val avg_missed : outcome -> float
+val avg_false : outcome -> float
+val avg_throughput_gchs : outcome -> float
+val utilisation_loss : outcome -> float
+(** Baseline minus degraded column utilisation (fraction). *)
+
+val campaign :
+  arch:Arch.t ->
+  params:Program.params ->
+  config:config ->
+  (string * Ast.t) list ->
+  input:string ->
+  (outcome, string) result
+(** Compile the rule set, map it pristine (baseline) and defect-aware
+    (degraded), then run [config.trials] seeded transient-fault trials on
+    the degraded placement, cross-checking reported match positions
+    against the software reference of every fully placed regex. *)
+
+val pp_trial : Format.formatter -> trial -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+(** The degradation table: per-trial rows plus the summary line. *)

@@ -28,20 +28,28 @@ let compute_density_gchs_per_mm2 r =
 let compile_for (arch : Arch.t) ~params regexes =
   let compiled = ref [] and errors = ref [] in
   let push source r = compiled := { r with Program.source } :: !compiled in
+  let fail source reason = errors := Compile_error.v source reason :: !errors in
+  let unsupported source msg = fail source (Compile_error.Unsupported msg) in
   List.iter
     (fun (source, ast) ->
       match arch.Arch.kind with
       | Arch.Rap -> (
-          match Mode_select.compile ~params ~source ast with
-          | c -> push source c
-          | exception Invalid_argument msg -> errors := (source, msg) :: !errors)
+          match Mode_select.compile_result ~params ~source ast with
+          | Ok c -> push source c
+          | Error e -> errors := e :: !errors)
       | Arch.Cama -> (
           match Nfa_compile.compile ast with
           | u ->
               if Nfa_compile.fits_array u then
                 push source { Program.source; ast; kind = Program.U_nfa u }
-              else errors := (source, "exceeds one array") :: !errors
-          | exception Invalid_argument msg -> errors := (source, msg) :: !errors)
+              else
+                fail source
+                  (Compile_error.Oversize
+                     {
+                       tiles_needed = Array.length u.Program.tile_states;
+                       tiles_cap = Circuit.tiles_per_array;
+                     })
+          | exception Invalid_argument msg -> unsupported source msg)
       | Arch.Ca -> (
           match
             Nfa_compile.compile ~tile_capacity_cols:Circuit.ca_tile_stes
@@ -49,7 +57,7 @@ let compile_for (arch : Arch.t) ~params regexes =
               ast
           with
           | u -> push source { Program.source; ast; kind = Program.U_nfa u }
-          | exception Invalid_argument msg -> errors := (source, msg) :: !errors)
+          | exception Invalid_argument msg -> unsupported source msg)
       | Arch.Bvap -> (
           let wants_bv =
             Ast.has_bounded_repetition
@@ -61,13 +69,17 @@ let compile_for (arch : Arch.t) ~params regexes =
             else Program.{ source; ast; kind = U_nfa (Nfa_compile.compile ast) }
           with
           | c -> push source c
-          | exception Invalid_argument msg -> errors := (source, msg) :: !errors))
+          | exception Invalid_argument msg -> unsupported source msg))
     regexes;
   (List.rev !compiled, List.rev !errors)
 
 let place (arch : Arch.t) ~params compiled =
   let tile_cols = arch.Arch.tile_stes in
   Mapper.map_units ~tile_cols ~params (Array.of_list compiled)
+
+let place_result ?defects (arch : Arch.t) ~params compiled =
+  let tile_cols = arch.Arch.tile_stes in
+  Mapper.map_units_result ?defects ~tile_cols ~params (Array.of_list compiled)
 
 (* State-matching energy of one powered tile at one symbol. *)
 let matching_pj (arch : Arch.t) ~enabled_cols =
@@ -151,7 +163,7 @@ let build_exec (p : Mapper.placement) (tiles : Mapper.placed_tile array) =
   in
   { engines = Array.of_list (List.rev !engines); tile_pieces; tile_modes }
 
-let run (arch : Arch.t) ~params (p : Mapper.placement) ~input =
+let run ?observe (arch : Arch.t) ~params (p : Mapper.placement) ~input =
   ignore params;
   let chars = String.length input in
   let ledger = Energy.create () in
@@ -163,13 +175,13 @@ let run (arch : Arch.t) ~params (p : Mapper.placement) ~input =
   let tile_leak = Arch.tile_leakage_pj_per_cycle arch ~powered:true in
   let tile_leak_gated = Arch.tile_leakage_pj_per_cycle arch ~powered:false in
   let array_leak = Arch.array_leakage_pj_per_cycle arch in
-  Array.iter
-    (fun tiles ->
+  Array.iteri
+    (fun array_id tiles ->
       let ex = build_exec p tiles in
       let ntiles = Array.length tiles in
       let cycles = ref 0 in
-      String.iter
-        (fun c ->
+      String.iteri
+        (fun sym c ->
           Array.iter (fun e -> Engine.step e c) ex.engines;
           let stall = ref 0 in
           let array_cross = ref 0 in
@@ -244,7 +256,13 @@ let run (arch : Arch.t) ~params (p : Mapper.placement) ~input =
           Energy.add ledger Energy.Controller Circuit.global_controller.Circuit.energy_min_pj;
           Energy.add ledger Energy.Io (2. *. (Buffers.push_pj +. Buffers.pop_pj));
           Energy.add ledger Energy.Leakage !leak;
-          cycles := !cycles + cyc)
+          cycles := !cycles + cyc;
+          (* fault-injection hook: runs after this symbol's statistics are
+             banked, so corruption lands in the stored state and is first
+             seen at the next symbol *)
+          match observe with
+          | Some f -> f ~array_id ~sym ex.engines
+          | None -> ())
         input;
       if !cycles > !max_cycles then max_cycles := !cycles;
       let has_nbva = Array.exists (fun m -> m = Engine.M_nbva) ex.tile_modes in

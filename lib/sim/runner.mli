@@ -39,17 +39,35 @@ val compile_for :
   Arch.t ->
   params:Program.params ->
   (string * Ast.t) list ->
-  Program.compiled list * (string * string) list
+  Program.compiled list * Compile_error.t list
 (** [(compiled, errors)]: units the architecture accepts and regexes it
-    rejects (with reasons).  CAMA/CA force NFA mode (CA with 256-STE
-    tiles); BVAP compiles repetitions to its BVM-backed NBVA and the rest
-    to NFA. *)
+    rejects, with structured reasons.  CAMA/CA force NFA mode (CA with
+    256-STE tiles); BVAP compiles repetitions to its BVM-backed NBVA and
+    the rest to NFA. *)
 
 val place :
   Arch.t -> params:Program.params -> Program.compiled list -> Mapper.placement
 
+val place_result :
+  ?defects:Defect.t ->
+  Arch.t ->
+  params:Program.params ->
+  Program.compiled list ->
+  Mapper.placement * Compile_error.t list * Mapper.defect_stats
+(** Defect-aware {!place}: see {!Mapper.map_units_result}. *)
+
 val run :
-  Arch.t -> params:Program.params -> Mapper.placement -> input:string -> report
+  ?observe:(array_id:int -> sym:int -> Engine.t array -> unit) ->
+  Arch.t ->
+  params:Program.params ->
+  Mapper.placement ->
+  input:string ->
+  report
+(** [observe] (the fault-injection hook) is called once per array per
+    input symbol, after that symbol's statistics are banked; mutating the
+    engines' state bits there ({!Engine.flip_state_bit}) models soft
+    errors that are first visible at the next symbol.  Without [observe]
+    the run is exactly the fault-free simulation. *)
 
 val run_with_stall_traces :
   Arch.t ->

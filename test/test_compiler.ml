@@ -156,6 +156,58 @@ let test_lnfa_blowup_budget () =
   check bool "blowup rejected" true
     (Lnfa_compile.try_compile ~params (parse "(a|b)(a|b)(a|b)(a|b)(a|b)") = None)
 
+(* Typed compile/placement errors *)
+
+let test_parse_error_structured () =
+  match Mode_select.parse_and_compile ~params "(((" with
+  | Ok _ -> fail "expected parse error"
+  | Error e -> (
+      check string "source recorded" "(((" e.Compile_error.source;
+      match e.Compile_error.reason with
+      | Compile_error.Parse_error _ ->
+          check string "label" "parse-error" (Compile_error.reason_label e.Compile_error.reason)
+      | _ -> fail "expected Parse_error")
+
+let test_cama_oversize_structured () =
+  (* a{3000} unfolds to a 3000-state NFA: 24 tiles, over CAMA's one-array
+     ceiling — the good rule still compiles and simulates *)
+  let regexes = [ ("a{3000}", parse "a{3000}"); ("abcabc", parse "abcabc") ] in
+  let compiled, errors = Runner.compile_for Arch.cama ~params regexes in
+  check int "one survivor" 1 (List.length compiled);
+  (match errors with
+  | [ e ] -> (
+      check string "oversize source" "a{3000}" e.Compile_error.source;
+      match e.Compile_error.reason with
+      | Compile_error.Oversize { tiles_needed; tiles_cap } ->
+          check bool "needs more than cap" true (tiles_needed > tiles_cap)
+      | _ -> fail "expected Oversize")
+  | _ -> fail "expected exactly one error");
+  let placement = Runner.place Arch.cama ~params compiled in
+  let r = Runner.run Arch.cama ~params placement ~input:"xxabcabcxx" in
+  check bool "remainder simulates" true (r.Runner.match_reports > 0)
+
+let test_mapper_oversize_drop_structured () =
+  (* unit 0 alone exceeds one array; map_units_result drops it with a
+     structured reason and places the rest *)
+  let huge =
+    Option.get
+      (Mode_select.compile_as Mode_select.Nfa_mode ~params ~source:"huge"
+         (parse (String.concat "" (List.init 2200 (fun _ -> "a")))))
+  in
+  let small = Mode_select.compile ~params ~source:"small" (parse "b{200}") in
+  let placement, drops, _ = Mapper.map_units_result ~params [| huge; small |] in
+  (match drops with
+  | [ e ] -> (
+      check string "dropped source" "huge" e.Compile_error.source;
+      match e.Compile_error.reason with
+      | Compile_error.Oversize { tiles_needed; tiles_cap } ->
+          check int "cap is one array" 16 tiles_cap;
+          check bool "demand over cap" true (tiles_needed > 16)
+      | _ -> fail "expected Oversize")
+  | _ -> fail "expected exactly one drop");
+  check int "survivor placed" 1 (Array.length placement.Mapper.units);
+  check string "survivor reindexed" "small" placement.Mapper.units.(0).Program.source
+
 let prop_forced_nfa_always_possible =
   QCheck2.Test.make ~name:"NFA mode accepts any (fitting) regex" ~count:200
     ~print:Gen.ast_print (Gen.gen_ast ())
@@ -187,6 +239,9 @@ let suite =
     test_case "CA tile geometry" `Quick test_ca_geometry;
     test_case "LNFA line compilation" `Quick test_lnfa_compile;
     test_case "LNFA blow-up budget" `Quick test_lnfa_blowup_budget;
+    test_case "parse error is structured" `Quick test_parse_error_structured;
+    test_case "CAMA oversize is structured" `Quick test_cama_oversize_structured;
+    test_case "mapper oversize drop is structured" `Quick test_mapper_oversize_drop_structured;
     QCheck_alcotest.to_alcotest prop_forced_nfa_always_possible;
     QCheck_alcotest.to_alcotest prop_decision_matches_compile;
   ]
