@@ -6,9 +6,13 @@
      bench/main.exe                    regenerate everything
      bench/main.exe fig1|dse|table2|table3|fig11|fig12|fig13|table4|ablations
      bench/main.exe micro              Bechamel microbenchmarks
+     bench/main.exe sim [OUT.json]     simulator throughput, sequential vs --jobs
+                                       (writes BENCH_sim.json by default)
 
    Input size and workload scale come from RAP_EVAL_CHARS / RAP_EVAL_SCALE
-   (defaults 10_000 and 1; the paper uses 100_000 characters). *)
+   (defaults 10_000 and 1; the paper uses 100_000 characters); [sim] takes
+   its parallel worker count from RAP_EVAL_JOBS when set, else the
+   machine-sized default. *)
 
 let experiments env = function
   | "fig1" -> Experiments.print_fig1 (Experiments.fig1 env)
@@ -102,6 +106,55 @@ let micro () =
         stats)
     tests
 
+(* Machine-readable simulator benchmark: wall-clock and simulated
+   throughput of Runner.run at jobs=1 vs jobs=N per workload, plus a
+   bit-identity check between the two schedules. *)
+let sim env ~out =
+  let jobs =
+    if env.Experiments.jobs > 1 then env.Experiments.jobs else Scheduler.default_jobs ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let params = Program.default_params in
+  let arch = Rap.rap_arch () in
+  let rows =
+    List.map
+      (fun name ->
+        let s = Benchmarks.by_name ~scale:env.Experiments.scale name in
+        let input = s.Benchmarks.make_input ~chars:env.Experiments.chars in
+        let units, _ = Runner.compile_for arch ~params s.Benchmarks.regexes in
+        let placement = Runner.place arch ~params units in
+        let run j () = Runner.run ~jobs:j arch ~params placement ~input in
+        ignore (run 1 ()) (* warm-up: page in code and input *);
+        let seq, seq_s = time (run 1) in
+        let par, par_s = time (run jobs) in
+        let gchs wall =
+          if wall > 0. then float_of_int seq.Runner.chars /. wall /. 1e9 else 0.
+        in
+        Printf.printf
+          "%-14s %d arrays: jobs=1 %.3fs (%.4f Gch/s), jobs=%d %.3fs (%.4f Gch/s), speedup %.2fx, identical=%b\n%!"
+          name seq.Runner.num_arrays seq_s (gchs seq_s) jobs par_s (gchs par_s)
+          (if par_s > 0. then seq_s /. par_s else 0.)
+          (seq = par);
+        Printf.sprintf
+          {|    {"workload": %S, "chars": %d, "arrays": %d, "jobs": %d,
+     "seq_wall_s": %.6f, "par_wall_s": %.6f, "speedup": %.4f,
+     "seq_gchs": %.6f, "par_gchs": %.6f,
+     "simulated_gchs": %.6f, "identical": %b}|}
+          name seq.Runner.chars seq.Runner.num_arrays jobs seq_s par_s
+          (if par_s > 0. then seq_s /. par_s else 0.)
+          (gchs seq_s) (gchs par_s) seq.Runner.throughput_gchs (seq = par))
+      [ "Snort"; "Yara"; "ClamAV"; "Prosite" ]
+  in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"workloads\": [\n%s\n  ]\n}\n" jobs
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 let () =
   let env = Experiments.default_env () in
   match Sys.argv with
@@ -111,4 +164,6 @@ let () =
         env.Experiments.chars env.Experiments.scale;
       Experiments.run_all env
   | [| _; "micro" |] -> micro ()
+  | [| _; "sim" |] -> sim env ~out:"BENCH_sim.json"
+  | [| _; "sim"; out |] -> sim env ~out
   | argv -> Array.iteri (fun i a -> if i > 0 then experiments env a) argv

@@ -161,20 +161,84 @@ let print_report report =
   Format.printf "%a@." Runner.pp_report report;
   Format.printf "energy breakdown:@.%a@." Energy.pp report.Runner.energy
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Simulate up to $(docv) arrays in parallel (0 picks a machine-sized default). \
+                 Results are bit-identical for every value.")
+
+let resolve_jobs = function
+  | 0 -> Scheduler.default_jobs ()
+  | n when n >= 1 -> n
+  | n ->
+      Printf.eprintf "error: --jobs %d is not a positive worker count\n" n;
+      exit 2
+
+(* Parse a rule list, reporting what was rejected like the fault driver
+   does; exits when nothing survives. *)
+let parse_rules regexes =
+  let parsed, parse_errors =
+    List.fold_left
+      (fun (ok, errs) src ->
+        match Parser.parse_result src with
+        | Ok p -> ((src, p.Parser.ast) :: ok, errs)
+        | Error e -> (ok, Compile_error.v src (Compile_error.Parse_error e) :: errs))
+      ([], []) regexes
+  in
+  List.iter
+    (fun e -> Format.eprintf "dropped: %a@." Compile_error.pp e)
+    (List.rev parse_errors);
+  match List.rev parsed with
+  | [] ->
+      Printf.eprintf "error: no regex parsed\n";
+      exit 2
+  | parsed -> parsed
+
 let simulate_cmd =
-  let run regexes input file arch =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Dump the per-symbol metrics stream (active states, stalls, reports, energy \
+                   by category) to $(docv); a .json suffix selects JSON, anything else CSV.")
+  in
+  let run regexes input file arch jobs trace =
     let input = required_input ~file input in
-    match Rap.simulate ~arch:(arch_of arch) ~regexes ~input () with
-    | Error e ->
-        Printf.eprintf "error: %s\n" e;
-        1
-    | Ok report ->
-        print_report report;
-        0
+    let jobs = resolve_jobs jobs in
+    let arch = arch_of arch in
+    let params = Program.default_params in
+    let parsed = parse_rules regexes in
+    let units, errors = Runner.compile_for arch ~params parsed in
+    List.iter (fun e -> Format.eprintf "dropped: %a@." Compile_error.pp e) errors;
+    if units = [] then begin
+      Printf.eprintf "error: no regex compiled\n";
+      1
+    end
+    else begin
+      let placement = Runner.place arch ~params units in
+      let num_arrays = Array.length placement.Mapper.arrays in
+      let trace_sink =
+        Option.map
+          (fun path ->
+            let format = Sink.trace_format_of_path path in
+            let spec, dump = Sink.trace arch ~format ~num_arrays in
+            (path, spec, dump))
+          trace
+      in
+      let sinks = match trace_sink with Some (_, spec, _) -> [ spec ] | None -> [] in
+      let report = Runner.run ~jobs ~sinks arch ~params placement ~input in
+      print_report report;
+      Option.iter
+        (fun (path, _, dump) ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> dump oc);
+          Printf.printf "wrote trace to %s\n" path)
+        trace_sink;
+      0
+    end
   in
   let doc = "Run a rule set through the cycle-level hardware simulator." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg)
+    Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ jobs_arg $ trace)
 
 (* ---- rap faults ---- *)
 
@@ -212,20 +276,7 @@ let faults_cmd =
     let input = required_input ~file input in
     let arch = arch_of arch in
     let params = Program.default_params in
-    let parsed, parse_errors =
-      List.fold_left
-        (fun (ok, errs) src ->
-          match Parser.parse_result src with
-          | Ok p -> ((src, p.Parser.ast) :: ok, errs)
-          | Error e -> (ok, Compile_error.v src (Compile_error.Parse_error e) :: errs))
-        ([], []) regexes
-    in
-    let parsed = List.rev parsed and parse_errors = List.rev parse_errors in
-    List.iter (fun e -> Format.eprintf "dropped: %a@." Compile_error.pp e) parse_errors;
-    if parsed = [] then begin
-      Printf.eprintf "error: no regex parsed\n";
-      exit 2
-    end;
+    let parsed = parse_rules regexes in
     let rates =
       List.map
         (fun s ->
@@ -287,8 +338,8 @@ let eval_cmd =
   let chars =
     Arg.(value & opt int 10_000 & info [ "chars" ] ~doc:"Input characters per run.")
   in
-  let run data task chars =
-    let env = { Experiments.chars; scale = 1 } in
+  let run data task chars jobs =
+    let env = { Experiments.chars; scale = 1; jobs = resolve_jobs jobs } in
     (* [--data] filters the suites for the mode-vs-mode tables *)
     let filter rows name_of =
       if data = "All" then rows
@@ -326,7 +377,7 @@ let eval_cmd =
     0
   in
   let doc = "Reproduce the paper's evaluation (the artifact's main_gap.py)." in
-  Cmd.v (Cmd.info "eval" ~doc) Term.(const run $ data $ task $ chars)
+  Cmd.v (Cmd.info "eval" ~doc) Term.(const run $ data $ task $ chars $ jobs_arg)
 
 (* ---- rap check ---- *)
 
@@ -360,22 +411,22 @@ let check_cmd =
 let export_cmd =
   let dir = Arg.(value & opt string "result" & info [ "dir" ] ~doc:"Output directory.") in
   let chars = Arg.(value & opt int 10_000 & info [ "chars" ] ~doc:"Input characters per run.") in
-  let run dir chars =
-    let env = { Experiments.chars; scale = 1 } in
+  let run dir chars jobs =
+    let env = { Experiments.chars; scale = 1; jobs = resolve_jobs jobs } in
     let written = Export.export_all env ~dir in
     List.iter (Printf.printf "wrote %s\n") written;
     0
   in
   let doc = "Write the artifact-style CSV/JSON result files." in
-  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ dir $ chars)
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ dir $ chars $ jobs_arg)
 
 (* ---- rap ablate ---- *)
 
 let ablate_cmd =
   let data = Arg.(value & opt string "Yara" & info [ "data" ] ~doc:"Benchmark to ablate.") in
   let chars = Arg.(value & opt int 5_000 & info [ "chars" ] ~doc:"Input characters.") in
-  let run data chars =
-    let env = { Experiments.chars; scale = 1 } in
+  let run data chars jobs =
+    let env = { Experiments.chars; scale = 1; jobs = resolve_jobs jobs } in
     List.iter
       (fun suite ->
         let rows = Ablations.run env ~suite ~params:Program.default_params in
@@ -386,7 +437,7 @@ let ablate_cmd =
     0
   in
   let doc = "Ablate RAP's design choices (modes, binning, BV depth)." in
-  Cmd.v (Cmd.info "ablate" ~doc) Term.(const run $ data $ chars)
+  Cmd.v (Cmd.info "ablate" ~doc) Term.(const run $ data $ chars $ jobs_arg)
 
 (* ---- rap mnrl ---- *)
 

@@ -63,7 +63,7 @@ let is_match m input = find_all m input <> []
 
 let rap_arch ?(bv_depth = default_params.Program.bv_depth) () = Arch.rap ~bv_depth
 
-let simulate ?arch ?(params = default_params) ~regexes ~input () =
+let simulate ?arch ?jobs ?(params = default_params) ~regexes ~input () =
   let arch = match arch with Some a -> a | None -> rap_arch ~bv_depth:params.Program.bv_depth () in
   let parsed =
     List.filter_map
@@ -85,6 +85,6 @@ let simulate ?arch ?(params = default_params) ~regexes ~input () =
         | [] -> "no regex compiled")
     else
       let placement = Runner.place arch ~params units in
-      Ok (Runner.run arch ~params placement ~input)
+      Ok (Runner.run ?jobs arch ~params placement ~input)
 
 let version = "1.0.0"

@@ -63,14 +63,16 @@ val is_match : matcher -> string -> bool
 
 val simulate :
   ?arch:Arch.t ->
+  ?jobs:int ->
   ?params:Program.params ->
   regexes:string list ->
   input:string ->
   unit ->
   (Runner.report, string) result
 (** Compile, map and run a rule set on the simulated processor (default:
-    RAP with default parameters).  Returns [Error] when no regex parses or
-    compiles. *)
+    RAP with default parameters).  [jobs] simulates arrays on that many
+    parallel domains; results are bit-identical for every value (see
+    {!Runner.run}).  Returns [Error] when no regex parses or compiles. *)
 
 val default_params : Program.params
 val rap_arch : ?bv_depth:int -> unit -> Arch.t

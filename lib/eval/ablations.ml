@@ -47,7 +47,7 @@ let run env ~suite ~params =
       in
       let arch = Arch.rap ~bv_depth:params.Program.bv_depth in
       let placement = Runner.place arch ~params units in
-      let r = Runner.run arch ~params placement ~input in
+      let r = Runner.run ~jobs:env.Experiments.jobs arch ~params placement ~input in
       {
         config;
         energy_uj = Energy.total_uj r.Runner.energy;

@@ -7,8 +7,8 @@ let engine_report_positions engines input =
       let hit = ref false in
       List.iter
         (fun e ->
-          Engine.step e c;
-          if Engine.reports e > 0 then hit := true)
+          let ev = Engine.step e c in
+          if ev.Engine.reports > 0 then hit := true)
         engines;
       if !hit then acc := p :: !acc)
     input;

@@ -1,4 +1,4 @@
-type env = { chars : int; scale : int }
+type env = { chars : int; scale : int; jobs : int }
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -6,7 +6,11 @@ let getenv_int name default =
   | None -> default
 
 let default_env () =
-  { chars = getenv_int "RAP_EVAL_CHARS" 10_000; scale = getenv_int "RAP_EVAL_SCALE" 1 }
+  {
+    chars = getenv_int "RAP_EVAL_CHARS" 10_000;
+    scale = getenv_int "RAP_EVAL_SCALE" 1;
+    jobs = getenv_int "RAP_EVAL_JOBS" 1;
+  }
 
 let base_params = Program.default_params
 
@@ -33,9 +37,9 @@ let compile_forced mode ~params regexes =
       | exception Invalid_argument _ -> None)
     regexes
 
-let run_units arch ~params units ~input =
+let run_units ?jobs arch ~params units ~input =
   let placement = Runner.place arch ~params units in
-  Runner.run arch ~params placement ~input
+  Runner.run ?jobs arch ~params placement ~input
 
 (* ------------------------------------------------------------------ *)
 (* Fig 1 *)
@@ -143,7 +147,7 @@ let dse env =
             (fun depth ->
               let params = { base_params with Program.bv_depth = depth } in
               let units = compile_forced Mode_select.Nbva_mode ~params nbva_regexes in
-              point_of_report depth (run_units (Arch.rap ~bv_depth:depth) ~params units ~input))
+              point_of_report depth (run_units ~jobs:env.jobs (Arch.rap ~bv_depth:depth) ~params units ~input))
             depths
       in
       let bin_sweep =
@@ -154,7 +158,7 @@ let dse env =
               let params = { base_params with Program.bin_size = bin } in
               let units = compile_forced Mode_select.Lnfa_mode ~params lnfa_regexes in
               point_of_report bin
-                (run_units (Arch.rap ~bv_depth:params.Program.bv_depth) ~params units ~input))
+                (run_units ~jobs:env.jobs (Arch.rap ~bv_depth:params.Program.bv_depth) ~params units ~input))
             bin_sizes
       in
       {
@@ -253,11 +257,11 @@ let versus mode env results =
         let rap_arch = Arch.rap ~bv_depth:params.Program.bv_depth in
         let native = compile_forced mode ~params regexes in
         let as_nfa = compile_forced Mode_select.Nfa_mode ~params regexes in
-        let baseline = cells_of (run_units rap_arch ~params native ~input) in
-        let rap_nfa = cells_of (run_units rap_arch ~params as_nfa ~input) in
+        let baseline = cells_of (run_units ~jobs:env.jobs rap_arch ~params native ~input) in
+        let rap_nfa = cells_of (run_units ~jobs:env.jobs rap_arch ~params as_nfa ~input) in
         let other arch =
           let units, _ = Runner.compile_for arch ~params regexes in
-          cells_of (run_units arch ~params units ~input)
+          cells_of (run_units ~jobs:env.jobs arch ~params units ~input)
         in
         Some
           {
@@ -361,7 +365,7 @@ let fig11 env results =
       let input = input_for s env in
       let arch = Arch.rap ~bv_depth:params.Program.bv_depth in
       let units, _ = Runner.compile_for arch ~params s.Benchmarks.regexes in
-      let r = run_units arch ~params units ~input in
+      let r = run_units ~jobs:env.jobs arch ~params units ~input in
       let get l m = List.assoc m l in
       {
         b_suite = s.Benchmarks.name;
@@ -477,7 +481,7 @@ let fig12 env results =
       let input = input_for s env in
       let one arch boosted =
         let units, _ = Runner.compile_for arch ~params s.Benchmarks.regexes in
-        let r = run_units arch ~params units ~input in
+        let r = run_units ~jobs:env.jobs arch ~params units ~input in
         overall_of_report ~suite:s.Benchmarks.name ~arch_name:(Arch.kind_name arch.Arch.kind)
           ~boosted r
       in
@@ -553,7 +557,7 @@ let fig13 env results =
       let input = input_for s env in
       let arch = Arch.rap ~bv_depth:params.Program.bv_depth in
       let units, _ = Runner.compile_for arch ~params s.Benchmarks.regexes in
-      let r = run_units arch ~params units ~input in
+      let r = run_units ~jobs:env.jobs arch ~params units ~input in
       let rap = overall_of_report ~suite:s.Benchmarks.name ~arch_name:"RAP" ~boosted:true r in
       let of_point (p : Platforms.point) =
         {
@@ -590,7 +594,7 @@ let table4 env =
       let input = input_for s env in
       let arch = Arch.rap ~bv_depth:params.Program.bv_depth in
       let units, _ = Runner.compile_for arch ~params s.Benchmarks.regexes in
-      let r = run_units arch ~params units ~input in
+      let r = run_units ~jobs:env.jobs arch ~params units ~input in
       let rap = overall_of_report ~suite:s.Benchmarks.name ~arch_name:"RAP" ~boosted:true r in
       match Platforms.hap_fpga ~suite:s.Benchmarks.name with
       | Some p ->

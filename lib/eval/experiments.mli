@@ -8,11 +8,13 @@
 type env = {
   chars : int;  (** Input length per run (paper: 100,000). *)
   scale : int;  (** Workload scale multiplier. *)
+  jobs : int;  (** Parallel simulation domains per run (see {!Runner.run}). *)
 }
 
 val default_env : unit -> env
 (** [chars] from [RAP_EVAL_CHARS] (default 10_000), [scale] from
-    [RAP_EVAL_SCALE] (default 1). *)
+    [RAP_EVAL_SCALE] (default 1), [jobs] from [RAP_EVAL_JOBS]
+    (default 1). *)
 
 (** {1 Fig 1 — mode mixture} *)
 

@@ -1,0 +1,95 @@
+(* See cost.mli. *)
+
+let num_modes = 3
+let mode_index = function Engine.M_nfa -> 0 | Engine.M_nbva -> 1 | Engine.M_lnfa -> 2
+
+let num_categories = List.length Energy.all_categories
+
+let cat_index = function
+  | Energy.State_matching -> 0
+  | Energy.State_transition -> 1
+  | Energy.Bv_processing -> 2
+  | Energy.Global_routing -> 3
+  | Energy.Controller -> 4
+  | Energy.Leakage -> 5
+  | Energy.Io -> 6
+
+let category_of_index i = List.nth Energy.all_categories i
+
+(* State-matching energy of one powered tile at one symbol. *)
+let matching_pj (arch : Arch.t) ~enabled_cols =
+  match arch.Arch.kind with
+  | Arch.Ca ->
+      (* row-indexed matching: one wordline of the 256x256 SRAM fires and
+         only the enabled bitlines swing - a fraction of a full access *)
+      Circuit.access_energy_pj Circuit.sram_256x256
+        ~activity:(0.1 *. float_of_int enabled_cols /. float_of_int arch.Arch.tile_stes)
+  | Arch.Rap | Arch.Cama | Arch.Bvap -> Cam.search_pj ~enabled_cols
+
+(* Energy of one tile's bit-vector-processing phase at one symbol. *)
+let bv_phase_pj (arch : Arch.t) ~bv_cols ~iterations =
+  let per_word =
+    match arch.Arch.kind with
+    | Arch.Bvap ->
+        (* dedicated BVM: one 128-bit word read + MFCB route + write back *)
+        (2. *. Circuit.access_energy_pj Circuit.sram_128x128 ~activity:0.5)
+        +. Switch.local_traverse_pj ~active_rows:64
+    | Arch.Rap | Arch.Cama | Arch.Ca ->
+        Cam.bv_word_read_pj ~bv_cols
+        +. Switch.local_traverse_pj ~active_rows:bv_cols
+        +. Cam.bv_word_write_pj ~bv_cols
+  in
+  (float_of_int iterations *. per_word) +. arch.Arch.controller_pj
+
+type symbol_cost = { cycles : int; cat_pj : float array; mode_pj : float array }
+
+let of_events (arch : Arch.t) (ev : Exec.array_events) =
+  let cat = Array.make num_categories 0. in
+  let mode = Array.make num_modes 0. in
+  let add c pj = cat.(cat_index c) <- cat.(cat_index c) +. pj in
+  let madd m pj = mode.(m) <- mode.(m) +. pj in
+  (* BV-processing phases, attributed to the triggering engine's mode *)
+  List.iter
+    (fun (p : Exec.bv_phase) ->
+      let pj = bv_phase_pj arch ~bv_cols:p.Exec.p_bv_cols ~iterations:p.Exec.p_iterations in
+      add Energy.Bv_processing pj;
+      madd (mode_index p.Exec.p_mode) pj)
+    ev.Exec.bv_phases;
+  (* per physical tile: matching, transition, controller, leakage *)
+  let cyc = 1 + ev.Exec.stall in
+  let tile_leak = Arch.tile_leakage_pj_per_cycle arch ~powered:true in
+  let tile_leak_gated = Arch.tile_leakage_pj_per_cycle arch ~powered:false in
+  let leak = ref (float_of_int cyc *. Arch.array_leakage_pj_per_cycle arch) in
+  Array.iter
+    (fun (t : Exec.tile_events) ->
+      let mi = mode_index t.Exec.t_mode in
+      let addm c pj =
+        add c pj;
+        madd mi pj
+      in
+      if t.Exec.t_powered then begin
+        addm Energy.State_matching (matching_pj arch ~enabled_cols:t.Exec.t_enabled_cols);
+        (* LNFA transitions ride the active-vector shift: no switch
+           traversal, and the local controller only engages when the
+           shift datapath carries live states *)
+        if t.Exec.t_mode <> Engine.M_lnfa then begin
+          if t.Exec.t_active_states > 0 then
+            addm Energy.State_transition
+              (Switch.local_traverse_pj ~active_rows:t.Exec.t_active_states);
+          addm Energy.Controller (arch.Arch.controller_pj +. arch.Arch.reconfig_tax_pj)
+        end
+        else if t.Exec.t_active_states > 0 then
+          addm Energy.Controller (arch.Arch.controller_pj +. arch.Arch.reconfig_tax_pj)
+      end;
+      let l = if t.Exec.t_powered then tile_leak else tile_leak_gated in
+      let pj = float_of_int cyc *. l in
+      leak := !leak +. pj;
+      madd mi pj)
+    ev.Exec.tiles;
+  if ev.Exec.cross > 0 then
+    add Energy.Global_routing
+      (Switch.global_traverse_pj ~active_rows:ev.Exec.cross +. Switch.wire_pj ~hops:ev.Exec.cross);
+  add Energy.Controller Circuit.global_controller.Circuit.energy_min_pj;
+  add Energy.Io (2. *. (Buffers.push_pj +. Buffers.pop_pj));
+  add Energy.Leakage !leak;
+  { cycles = cyc; cat_pj = cat; mode_pj = mode }

@@ -1,0 +1,37 @@
+(** Pure per-symbol cost model: {!Exec.array_events} → picojoules.
+
+    This is the Table-1 energy model of {!Runner.run}, factored out so
+    every cost consumer (the energy sink, the per-symbol trace sink,
+    future what-if sinks) charges {e exactly} the same picojoules from
+    the same events — the single source of truth for circuit costs. *)
+
+val matching_pj : Arch.t -> enabled_cols:int -> float
+(** State-matching energy of one powered tile at one symbol. *)
+
+val bv_phase_pj : Arch.t -> bv_cols:int -> iterations:int -> float
+(** Energy of one tile's bit-vector-processing phase at one symbol. *)
+
+(** {1 Whole-symbol costing} *)
+
+val num_categories : int
+val cat_index : Energy.category -> int
+(** Dense index over {!Energy.all_categories}, declaration order. *)
+
+val category_of_index : int -> Energy.category
+
+val num_modes : int
+val mode_index : Engine.mode -> int
+
+type symbol_cost = {
+  cycles : int;  (** 1 + stall. *)
+  cat_pj : float array;  (** Indexed by {!cat_index}. *)
+  mode_pj : float array;
+      (** Indexed by {!mode_index}; covers tile-level energy (matching,
+          transition, controller, tile leakage, BV phases) — array-level
+          costs (global routing/controller, I/O, array leakage) are not
+          mode-attributable. *)
+}
+
+val of_events : Arch.t -> Exec.array_events -> symbol_cost
+(** Deterministic: identical events yield bit-identical floats, which is
+    what makes sequential and parallel schedules comparable. *)

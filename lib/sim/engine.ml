@@ -1,7 +1,10 @@
 type mode = M_nfa | M_nbva | M_lnfa
 
-(* Per-symbol scratch statistics, indexed by unit-local tile. *)
-type stats = {
+(* Per-symbol event record, indexed by unit-local tile.  One record per
+   engine, reused across steps: [step] refreshes it in place and returns
+   it, so sinks read concrete data without poking accessor functions and
+   the hot loop allocates nothing. *)
+type events = {
   active : int array;
   enabled : int array;
   powered : bool array;
@@ -39,7 +42,7 @@ type nfa_engine = {
   (* cross-edge sources, pre-resolved to (exec state, bit or -1 for plain) *)
   cross_sources : (int * int) array;
   static_cols : int array;
-  n_stats : stats;
+  n_stats : events;
 }
 
 (* Unfolded width of one exec state. *)
@@ -127,7 +130,7 @@ type nbva_engine = {
   nb_static_cols : int array;
   nb_bv_cols : int array;
   nb_max_bv : int;
-  nb_stats : stats;
+  nb_stats : events;
 }
 
 let make_nbva_engine (nu : Program.nbva_unit) =
@@ -203,7 +206,7 @@ type bin_engine = {
   bit_tile : int array;  (* packed bit -> bin tile *)
   initial_cols_t0 : int;  (* one initial column per member line *)
   b_static_cols : int array;
-  b_stats : stats;
+  b_stats : events;
 }
 
 let make_bin_engine (bin : Binning.bin) =
@@ -278,15 +281,14 @@ let num_tiles = function
   | E_nbva e -> Array.length e.nu.Program.ntiles
   | E_bin e -> e.bin.Binning.tiles
 
-let step t c =
-  match t with E_nfa e -> nfa_step e c | E_nbva e -> nbva_step e c | E_bin e -> bin_step e c
+let events = stats_of
 
-let reports t = (stats_of t).reports
-let tile_active_states t i = (stats_of t).active.(i)
-let tile_powered t i = (stats_of t).powered.(i)
-let tile_enabled_cols t i = (stats_of t).enabled.(i)
-let tile_bv_triggered t i = (stats_of t).triggered.(i)
-let cross_signals t = (stats_of t).cross
+let step t c =
+  (match t with
+  | E_nfa e -> nfa_step e c
+  | E_nbva e -> nbva_step e c
+  | E_bin e -> bin_step e c);
+  stats_of t
 
 let tile_static_cols t i =
   match t with
@@ -309,9 +311,16 @@ let bv_depth = function E_nfa _ | E_bin _ -> 0 | E_nbva e -> e.nu.Program.depth
    corrupts the repetition counter — exactly the soft-error modes of the
    8T-SRAM CAM cells and BV words. *)
 
+(* The flippable surface is the active vector plus every *materialized*
+   BV word: [nbva_flip] walks [Nbva.vectors], which holds [Some] only for
+   BV-STEs, so counting [Nbva.total_bv_bits] (a static property of the
+   automaton) would overcount whenever a vector is not materialized and a
+   valid index could then raise [Invalid_argument] mid-campaign.  Count
+   exactly the words the walk can reach. *)
 let nbva_bits nbva st =
-  ignore st;
-  Nbva.num_states nbva + Nbva.total_bv_bits nbva
+  Array.fold_left
+    (fun acc v -> match v with Some v -> acc + Bitvec.width v | None -> acc)
+    (Nbva.num_states nbva) (Nbva.vectors st)
 
 let nbva_flip nbva st i =
   let n = Nbva.num_states nbva in

@@ -26,30 +26,38 @@ val of_nfa_unit : ast:Ast.t -> Program.nfa_unit -> t
 val of_nbva_unit : Program.nbva_unit -> t
 val of_bin : Binning.bin -> t
 
-(** {1 Stepping} *)
+(** {1 Stepping}
 
-val step : t -> char -> unit
-(** Advance by one input symbol; refreshes all per-tile statistics. *)
+    [step] is the bottom of the event-stream architecture: one engine
+    advance produces one concrete {!events} record, and every consumer
+    (energy accounting, stall tracing, per-symbol traces, fault
+    observation) folds over that stream — no consumer reads engine
+    internals. *)
 
-(** {1 Per-symbol statistics (valid after the last [step])} *)
+type events = {
+  active : int array;
+      (** Active STEs per unit-local tile at this symbol. *)
+  enabled : int array;
+      (** Columns precharged for state matching: all programmed CC columns
+          in NFA/NBVA mode; initial + active columns in LNFA mode. *)
+  powered : bool array;
+      (** [false] only for power-gated LNFA bin tiles with no initial and
+          no active state. *)
+  triggered : bool array;
+      (** The tile enters the bit-vector-processing phase at this symbol. *)
+  mutable cross : int;
+      (** Cross-tile transitions fired at this symbol (global switch rows). *)
+  mutable reports : int;  (** Reporting-STE activations at this symbol. *)
+}
 
-val reports : t -> int
-(** Reporting-STE activations at this symbol. *)
+val step : t -> char -> events
+(** Advance by one input symbol.  The returned record is owned by the
+    engine and refreshed in place by the next [step]: consume it before
+    stepping again, and do not mutate it. *)
 
-val tile_active_states : t -> int -> int
-val tile_powered : t -> int -> bool
-(** [false] only for power-gated LNFA bin tiles with no initial and no
-    active state. *)
-
-val tile_enabled_cols : t -> int -> int
-(** Columns precharged for state matching at this symbol: all programmed
-    CC columns in NFA/NBVA mode; initial + active columns in LNFA mode. *)
-
-val tile_bv_triggered : t -> int -> bool
-(** The tile enters the bit-vector-processing phase at this symbol. *)
-
-val cross_signals : t -> int
-(** Cross-tile transitions fired at this symbol (global switch rows). *)
+val events : t -> events
+(** The engine's event record — physically the same record every {!step}
+    returns.  Meaningful only after a [step]. *)
 
 (** {1 Static per-tile facts} *)
 
@@ -73,7 +81,9 @@ val bv_depth : t -> int
     between symbols to model soft errors in the 8T-SRAM cells. *)
 
 val state_bits : t -> int
-(** Size of the fault surface. *)
+(** Size of the fault surface: the active vector plus every
+    {e materialized} BV word (unmaterialized vectors store no bits, so
+    they are not flippable and are not counted). *)
 
 val flip_state_bit : t -> int -> unit
 (** Flip one stored state bit (0-based); the corruption propagates from

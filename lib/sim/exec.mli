@@ -1,0 +1,54 @@
+(** Per-array execution context — the middle layer of the simulation
+    stack (engines → {b exec} → sinks → scheduler).
+
+    [build] instantiates one {!Engine.t} per mapper group present in the
+    array and resolves each physical tile to its (engine, local-tile)
+    pieces; [step] advances every engine by one input symbol and
+    assembles a single concrete {!array_events} value — the only thing
+    downstream consumers ({!Sink.t}) ever see.  Exec owns all engine
+    plumbing; sinks own all cost/observability policy. *)
+
+type t
+
+val build : Mapper.placement -> Mapper.placed_tile array -> t
+
+val engines : t -> Engine.t array
+(** The transient-fault surface: sinks may flip stored state bits here
+    ({!Engine.flip_state_bit}) but must not read per-tile statistics —
+    those arrive through {!array_events}. *)
+
+val tile_modes : t -> Engine.mode array
+val num_tiles : t -> int
+
+(** {1 Per-symbol events} *)
+
+type tile_events = {
+  t_mode : Engine.mode;
+  t_powered : bool;
+  t_enabled_cols : int;  (** Columns precharged for matching, all pieces. *)
+  t_active_states : int;
+}
+
+type bv_phase = {
+  p_mode : Engine.mode;
+  p_bv_cols : int;  (** BV storage columns of the triggering tile. *)
+  p_iterations : int;  (** Word updates in this processing phase. *)
+  p_stall : int;  (** Stall cycles this phase alone would impose. *)
+}
+
+type array_events = {
+  sym : int;  (** Input offset of this symbol. *)
+  symbol : char;
+  stall : int;  (** Extra cycles after this symbol (max over phases). *)
+  cross : int;  (** Cross-tile signals fired (global switch rows). *)
+  reports : int;  (** Reporting-STE activations, all engines. *)
+  tiles : tile_events array;  (** Indexed by physical tile. *)
+  bv_phases : bv_phase list;
+      (** One entry per (engine, tile) entering bit-vector processing, in
+          engine order. *)
+}
+
+val step : Arch.t -> t -> sym:int -> char -> array_events
+(** Advance the whole array by one symbol.  The architecture descriptor
+    determines BV-phase iteration counts and stall cycles (only
+    NBVA-capable designs trigger phases). *)

@@ -167,11 +167,26 @@ let campaign ~arch ~params ~config regexes ~input =
       let rng = make_rng (trial_seed config.seed i) in
       let hits = Array.make (max 1 chars) false in
       let flips = ref 0 in
-      let observe ~array_id:_ ~sym engines =
-        Array.iter (fun e -> if Engine.reports e > 0 then hits.(sym) <- true) engines;
-        flips := !flips + inject ~rng ~rate:config.transient_rate engines
+      (* one sink instance per array, all sharing the campaign rng and
+         hit map: the run must stay sequential (jobs = 1, the default)
+         so the rng consumption order is reproducible *)
+      let fault_sink =
+        {
+          Sink.name = "fault";
+          make =
+            (fun ~array_id:_ ~chars:_ ->
+              {
+                Sink.on_events =
+                  (fun ev -> if ev.Exec.reports > 0 then hits.(ev.Exec.sym) <- true);
+                on_state =
+                  Some
+                    (fun ~sym:_ engines ->
+                      flips := !flips + inject ~rng ~rate:config.transient_rate engines);
+                on_close = (fun ~cycles:_ -> ());
+              });
+        }
       in
-      let r = Runner.run ~observe arch ~params degraded_p ~input in
+      let r = Runner.run ~sinks:[ fault_sink ] arch ~params degraded_p ~input in
       let missed = ref 0 and false_pos = ref 0 in
       for p = 0 to chars - 1 do
         if reference.(p) && not hits.(p) then incr missed;

@@ -12,8 +12,8 @@
        surviving array can host.}
     {- {e Transient faults} — per-cycle, per-bit flips in the stored
        active vectors and BV words ({!Engine.flip_state_bit}) at a
-       configurable rate, injected through {!Runner.run}'s [observe]
-       hook.}}
+       configurable rate, injected through a {!Sink.t}'s [on_state]
+       hook attached to {!Runner.run}.}}
 
     {!campaign} runs [trials] seeded trials of a rule set, cross-checks
     each against the software reference (the {!Consistency} methodology)

@@ -81,193 +81,74 @@ let place_result ?defects (arch : Arch.t) ~params compiled =
   let tile_cols = arch.Arch.tile_stes in
   Mapper.map_units_result ?defects ~tile_cols ~params (Array.of_list compiled)
 
-(* State-matching energy of one powered tile at one symbol. *)
-let matching_pj (arch : Arch.t) ~enabled_cols =
-  match arch.Arch.kind with
-  | Arch.Ca ->
-      (* row-indexed matching: one wordline of the 256x256 SRAM fires and
-         only the enabled bitlines swing - a fraction of a full access *)
-      Circuit.access_energy_pj Circuit.sram_256x256
-        ~activity:(0.1 *. float_of_int enabled_cols /. float_of_int arch.Arch.tile_stes)
-  | Arch.Rap | Arch.Cama | Arch.Bvap -> Cam.search_pj ~enabled_cols
-
-(* Energy of one tile's bit-vector-processing phase at one symbol. *)
-let bv_phase_pj (arch : Arch.t) ~bv_cols ~iterations =
-  let per_word =
-    match arch.Arch.kind with
-    | Arch.Bvap ->
-        (* dedicated BVM: one 128-bit word read + MFCB route + write back *)
-        (2. *. Circuit.access_energy_pj Circuit.sram_128x128 ~activity:0.5)
-        +. Switch.local_traverse_pj ~active_rows:64
-    | Arch.Rap | Arch.Cama | Arch.Ca ->
-        Cam.bv_word_read_pj ~bv_cols
-        +. Switch.local_traverse_pj ~active_rows:bv_cols
-        +. Cam.bv_word_write_pj ~bv_cols
+(* The energy/timing accounting as a sink over the event stream.  State
+   lives in per-array slots merged in array order after the run, so the
+   totals are bit-identical under every schedule. *)
+let energy_sink arch ~num_arrays =
+  let ledgers = Array.init num_arrays (fun _ -> Energy.create ()) in
+  let mode_slots = Array.make_matrix num_arrays Cost.num_modes 0. in
+  let spec =
+    {
+      Sink.name = "energy";
+      make =
+        (fun ~array_id ~chars:_ ->
+          let ledger = ledgers.(array_id) and modes = mode_slots.(array_id) in
+          Sink.events_only (fun ev ->
+              let cost = Cost.of_events arch ev in
+              Array.iteri
+                (fun i pj -> if pj <> 0. then Energy.add ledger (Cost.category_of_index i) pj)
+                cost.Cost.cat_pj;
+              Array.iteri (fun m pj -> modes.(m) <- modes.(m) +. pj) cost.Cost.mode_pj));
+    }
   in
-  (float_of_int iterations *. per_word) +. arch.Arch.controller_pj
+  (spec, ledgers, mode_slots)
 
-(* Per-array execution context: one engine per unit/bin present, plus the
-   piece map resolving (engine, local tile) to a physical tile index. *)
-type exec_array = {
-  engines : Engine.t array;
-  tile_pieces : (int * int) list array;  (* physical tile -> (engine, local) *)
-  tile_modes : Engine.mode array;
-}
-
-let build_exec (p : Mapper.placement) (tiles : Mapper.placed_tile array) =
-  let engine_ids = Hashtbl.create 8 in
-  let engines = ref [] in
-  let n_engines = ref 0 in
-  let engine_of_key key make =
-    match Hashtbl.find_opt engine_ids key with
-    | Some i -> i
-    | None ->
-        let i = !n_engines in
-        incr n_engines;
-        Hashtbl.replace engine_ids key i;
-        engines := make () :: !engines;
-        i
-  in
-  let tile_pieces =
-    Array.map
-      (fun (t : Mapper.placed_tile) ->
-        List.map
-          (fun piece ->
-            match piece with
-            | Mapper.P_unit { unit_id; local_tile } ->
-                let e =
-                  engine_of_key (`Unit unit_id) (fun () ->
-                      let c = p.Mapper.units.(unit_id) in
-                      match c.Program.kind with
-                      | Program.U_nfa u -> Engine.of_nfa_unit ~ast:c.Program.ast u
-                      | Program.U_nbva u -> Engine.of_nbva_unit u
-                      | Program.U_lnfa _ -> assert false)
-                in
-                (e, local_tile)
-            | Mapper.P_bin { bin_id; bin_tile } ->
-                let e =
-                  engine_of_key (`Bin bin_id) (fun () -> Engine.of_bin p.Mapper.bins.(bin_id))
-                in
-                (e, bin_tile))
-          t.Mapper.pieces)
-      tiles
-  in
-  let tile_modes =
-    Array.map
-      (fun (t : Mapper.placed_tile) ->
-        match t.Mapper.mode with
-        | Mapper.T_nfa -> Engine.M_nfa
-        | Mapper.T_nbva -> Engine.M_nbva
-        | Mapper.T_lnfa -> Engine.M_lnfa)
-      tiles
-  in
-  { engines = Array.of_list (List.rev !engines); tile_pieces; tile_modes }
-
-let run ?observe (arch : Arch.t) ~params (p : Mapper.placement) ~input =
+let run ?(jobs = 1) ?(sinks = []) (arch : Arch.t) ~params (p : Mapper.placement) ~input =
   ignore params;
   let chars = String.length input in
+  let num_arrays = Array.length p.Mapper.arrays in
+  let energy_spec, ledgers, mode_slots = energy_sink arch ~num_arrays in
+  let specs = energy_spec :: sinks in
+  let details = Array.make num_arrays { a_cycles = 0; a_tiles = 0; a_has_nbva = false } in
+  let reports_slots = Array.make num_arrays 0 in
+  let simulate_array array_id =
+    let tiles = p.Mapper.arrays.(array_id) in
+    let ex = Exec.build p tiles in
+    let insts = List.map (fun (s : Sink.spec) -> s.Sink.make ~array_id ~chars) specs in
+    let state_insts =
+      List.filter_map (fun (i : Sink.t) -> i.Sink.on_state) insts
+    in
+    let cycles = ref 0 and reports = ref 0 in
+    String.iteri
+      (fun sym c ->
+        let ev = Exec.step arch ex ~sym c in
+        cycles := !cycles + 1 + ev.Exec.stall;
+        reports := !reports + ev.Exec.reports;
+        List.iter (fun (i : Sink.t) -> i.Sink.on_events ev) insts;
+        (* fault-injection surface: runs after this symbol's events are
+           banked, so corruption lands in the stored state and is first
+           seen at the next symbol *)
+        List.iter (fun f -> f ~sym (Exec.engines ex)) state_insts)
+      input;
+    List.iter (fun (i : Sink.t) -> i.Sink.on_close ~cycles:!cycles) insts;
+    reports_slots.(array_id) <- !reports;
+    details.(array_id) <-
+      {
+        a_cycles = !cycles;
+        a_tiles = Array.length tiles;
+        a_has_nbva = Array.exists (fun m -> m = Engine.M_nbva) (Exec.tile_modes ex);
+      }
+  in
+  Scheduler.parallel_for ~jobs num_arrays simulate_array;
+  (* deterministic merge, array-index order *)
   let ledger = Energy.create () in
-  let mode_pj = [| 0.; 0.; 0. |] in
-  let mode_idx = function Engine.M_nfa -> 0 | Engine.M_nbva -> 1 | Engine.M_lnfa -> 2 in
-  let total_reports = ref 0 in
-  let max_cycles = ref 0 in
-  let details = ref [] in
-  let tile_leak = Arch.tile_leakage_pj_per_cycle arch ~powered:true in
-  let tile_leak_gated = Arch.tile_leakage_pj_per_cycle arch ~powered:false in
-  let array_leak = Arch.array_leakage_pj_per_cycle arch in
-  Array.iteri
-    (fun array_id tiles ->
-      let ex = build_exec p tiles in
-      let ntiles = Array.length tiles in
-      let cycles = ref 0 in
-      String.iteri
-        (fun sym c ->
-          Array.iter (fun e -> Engine.step e c) ex.engines;
-          let stall = ref 0 in
-          let array_cross = ref 0 in
-          (* per-engine events: BV phases, cross signals, reports *)
-          Array.iter
-            (fun e ->
-              let mi = mode_idx (Engine.mode e) in
-              (if arch.Arch.supports_nbva then
-                 for t = 0 to Engine.num_tiles e - 1 do
-                   if Engine.tile_bv_triggered e t then begin
-                     let iterations =
-                       match arch.Arch.kind with
-                       | Arch.Rap -> Engine.bv_depth e
-                       | Arch.Bvap ->
-                           max 1
-                             ((Engine.max_bv_size e + arch.Arch.bv_word_bits - 1)
-                             / arch.Arch.bv_word_bits)
-                       | Arch.Cama | Arch.Ca -> 0
-                     in
-                     let pj = bv_phase_pj arch ~bv_cols:(Engine.tile_bv_cols e t) ~iterations in
-                     Energy.add ledger Energy.Bv_processing pj;
-                     mode_pj.(mi) <- mode_pj.(mi) +. pj;
-                     stall :=
-                       max !stall
-                         (Arch.stall_cycles arch ~bv_depth:(Engine.bv_depth e)
-                            ~max_bv_size:(Engine.max_bv_size e))
-                   end
-                 done);
-              array_cross := !array_cross + Engine.cross_signals e;
-              total_reports := !total_reports + Engine.reports e)
-            ex.engines;
-          (* per physical tile: matching, transition, controller, leakage *)
-          let cyc = 1 + !stall in
-          let leak = ref (float_of_int cyc *. array_leak) in
-          for ti = 0 to ntiles - 1 do
-            let mi = mode_idx ex.tile_modes.(ti) in
-            let powered = ref false in
-            let enabled = ref 0 and active = ref 0 in
-            List.iter
-              (fun (ei, lt) ->
-                let e = ex.engines.(ei) in
-                if Engine.tile_powered e lt then powered := true;
-                enabled := !enabled + Engine.tile_enabled_cols e lt;
-                active := !active + Engine.tile_active_states e lt)
-              ex.tile_pieces.(ti);
-            let add cat pj =
-              Energy.add ledger cat pj;
-              mode_pj.(mi) <- mode_pj.(mi) +. pj
-            in
-            if !powered then begin
-              add Energy.State_matching (matching_pj arch ~enabled_cols:!enabled);
-              (* LNFA transitions ride the active-vector shift: no switch
-                 traversal, and the local controller only engages when the
-                 shift datapath carries live states *)
-              if ex.tile_modes.(ti) <> Engine.M_lnfa then begin
-                if !active > 0 then
-                  add Energy.State_transition (Switch.local_traverse_pj ~active_rows:!active);
-                add Energy.Controller (arch.Arch.controller_pj +. arch.Arch.reconfig_tax_pj)
-              end
-              else if !active > 0 then
-                add Energy.Controller (arch.Arch.controller_pj +. arch.Arch.reconfig_tax_pj)
-            end;
-            let l = if !powered then tile_leak else tile_leak_gated in
-            let pj = float_of_int cyc *. l in
-            leak := !leak +. pj;
-            mode_pj.(mi) <- mode_pj.(mi) +. pj
-          done;
-          if !array_cross > 0 then
-            Energy.add ledger Energy.Global_routing
-              (Switch.global_traverse_pj ~active_rows:!array_cross
-              +. Switch.wire_pj ~hops:!array_cross);
-          Energy.add ledger Energy.Controller Circuit.global_controller.Circuit.energy_min_pj;
-          Energy.add ledger Energy.Io (2. *. (Buffers.push_pj +. Buffers.pop_pj));
-          Energy.add ledger Energy.Leakage !leak;
-          cycles := !cycles + cyc;
-          (* fault-injection hook: runs after this symbol's statistics are
-             banked, so corruption lands in the stored state and is first
-             seen at the next symbol *)
-          match observe with
-          | Some f -> f ~array_id ~sym ex.engines
-          | None -> ())
-        input;
-      if !cycles > !max_cycles then max_cycles := !cycles;
-      let has_nbva = Array.exists (fun m -> m = Engine.M_nbva) ex.tile_modes in
-      details := { a_cycles = !cycles; a_tiles = ntiles; a_has_nbva = has_nbva } :: !details)
-    p.Mapper.arrays;
+  Array.iter (fun l -> Energy.merge_into ~dst:ledger l) ledgers;
+  let mode_pj = Array.make Cost.num_modes 0. in
+  Array.iter
+    (fun slot -> Array.iteri (fun m pj -> mode_pj.(m) <- mode_pj.(m) +. pj) slot)
+    mode_slots;
+  let total_reports = Array.fold_left ( + ) 0 reports_slots in
+  let max_cycles = Array.fold_left (fun acc d -> max acc d.a_cycles) 0 details in
   let mstats = Mapper.stats p in
   let tile_area = arch.Arch.tile_area_um2 +. arch.Arch.bvm_area_um2 in
   let area_um2 =
@@ -314,7 +195,7 @@ let run ?observe (arch : Arch.t) ~params (p : Mapper.placement) ~input =
       p.Mapper.units;
     [ (Engine.M_nfa, acc.(0)); (Engine.M_nbva, acc.(1)); (Engine.M_lnfa, acc.(2)) ]
   in
-  let cycles = max 1 !max_cycles in
+  let cycles = max 1 max_cycles in
   let throughput = float_of_int chars *. arch.Arch.clock_ghz /. float_of_int cycles in
   let energy_pj = Energy.total_pj ledger in
   let time_ns = float_of_int cycles /. arch.Arch.clock_ghz in
@@ -323,8 +204,8 @@ let run ?observe (arch : Arch.t) ~params (p : Mapper.placement) ~input =
     arch = arch.Arch.kind;
     chars;
     cycles;
-    arrays_detail = Array.of_list (List.rev !details);
-    match_reports = !total_reports;
+    arrays_detail = details;
+    match_reports = total_reports;
     energy = ledger;
     area_mm2 = area_um2 /. 1e6;
     throughput_gchs = throughput;
@@ -340,41 +221,17 @@ let run ?observe (arch : Arch.t) ~params (p : Mapper.placement) ~input =
     mapper_stats = mstats;
   }
 
-(* Second pass collecting only the per-symbol stall schedule; engines are
-   rebuilt so the energy run above stays untouched. *)
-let stall_traces (arch : Arch.t) (p : Mapper.placement) ~input =
-  let chars = String.length input in
-  Array.map
-    (fun tiles ->
-      let ex = build_exec p tiles in
-      let trace = Array.make chars 0 in
-      String.iteri
-        (fun i c ->
-          Array.iter (fun e -> Engine.step e c) ex.engines;
-          let stall = ref 0 in
-          if arch.Arch.supports_nbva then
-            Array.iter
-              (fun e ->
-                for t = 0 to Engine.num_tiles e - 1 do
-                  if Engine.tile_bv_triggered e t then
-                    stall :=
-                      max !stall
-                        (Arch.stall_cycles arch ~bv_depth:(Engine.bv_depth e)
-                           ~max_bv_size:(Engine.max_bv_size e))
-                done)
-              ex.engines;
-          trace.(i) <- !stall)
-        input;
-      trace)
-    p.Mapper.arrays
+(* Single pass: the stall tracer rides the same event stream as the
+   energy accounting, so the engines run exactly once. *)
+let run_with_stall_traces ?jobs arch ~params (p : Mapper.placement) ~input =
+  let spec, traces = Sink.stall_trace ~num_arrays:(Array.length p.Mapper.arrays) in
+  let r = run ?jobs ~sinks:[ spec ] arch ~params p ~input in
+  (r, traces ())
 
-let run_with_stall_traces arch ~params p ~input =
-  (run arch ~params p ~input, stall_traces arch p ~input)
-
-let run_regexes arch ~params regexes ~input =
-  let compiled, _errors = compile_for arch ~params regexes in
+let run_regexes ?jobs arch ~params regexes ~input =
+  let compiled, errors = compile_for arch ~params regexes in
   let placement = place arch ~params compiled in
-  run arch ~params placement ~input
+  (run ?jobs arch ~params placement ~input, errors)
 
 let pp_report fmt r =
   Format.fprintf fmt

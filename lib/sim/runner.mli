@@ -57,19 +57,26 @@ val place_result :
 (** Defect-aware {!place}: see {!Mapper.map_units_result}. *)
 
 val run :
-  ?observe:(array_id:int -> sym:int -> Engine.t array -> unit) ->
+  ?jobs:int ->
+  ?sinks:Sink.spec list ->
   Arch.t ->
   params:Program.params ->
   Mapper.placement ->
   input:string ->
   report
-(** [observe] (the fault-injection hook) is called once per array per
-    input symbol, after that symbol's statistics are banked; mutating the
-    engines' state bits there ({!Engine.flip_state_bit}) models soft
-    errors that are first visible at the next symbol.  Without [observe]
-    the run is exactly the fault-free simulation. *)
+(** One simulation pass: each array's engines step through the input
+    exactly once, emitting one {!Exec.array_events} per symbol; the
+    energy/timing accounting and every attached sink fold over that
+    stream.  [jobs] (default 1) simulates up to that many arrays on
+    parallel domains (see {!Scheduler}); results are bit-identical for
+    every [jobs] value because per-array partials are merged in array
+    order.  Sinks carrying an [on_state] hook (fault injection) should
+    be run with [jobs = 1] when their callback shares state across
+    arrays — e.g. a common RNG — since arrays run in no particular
+    order otherwise. *)
 
 val run_with_stall_traces :
+  ?jobs:int ->
   Arch.t ->
   params:Program.params ->
   Mapper.placement ->
@@ -77,10 +84,17 @@ val run_with_stall_traces :
   report * int array array
 (** Like {!run}, additionally returning the per-array per-symbol stall
     trace (extra cycles after each symbol) that {!Bank_sim.run} consumes
-    to model the two-level input buffering. *)
+    to model the two-level input buffering.  Implemented as {!run} with
+    a {!Sink.stall_trace} attached — one pass, not a re-simulation. *)
 
 val run_regexes :
-  Arch.t -> params:Program.params -> (string * Ast.t) list -> input:string -> report
-(** [compile_for] + [place] + [run]. *)
+  ?jobs:int ->
+  Arch.t ->
+  params:Program.params ->
+  (string * Ast.t) list ->
+  input:string ->
+  report * Compile_error.t list
+(** [compile_for] + [place] + [run], surfacing the regexes the
+    architecture rejected instead of dropping them silently. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,37 @@
+(* See scheduler.mli. *)
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let parallel_for ~jobs n f =
+  let jobs = min jobs n in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    (* work-stealing-free dynamic scheduling: domains pull the next index
+       from a shared counter, so uneven arrays (one NBVA-heavy, others
+       idle) still balance.  Result determinism is the caller's business:
+       workers must write to per-index slots only. *)
+    let next = Atomic.make 0 in
+    let first_exn = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try f i
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set first_exn None (Some (e, bt))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    match Atomic.get first_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end

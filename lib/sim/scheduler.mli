@@ -1,0 +1,19 @@
+(** Per-array parallel scheduler (OCaml 5 [Domain]s, stdlib only).
+
+    Arrays are fully independent during simulation — no inter-array
+    communication exists in the hardware (§3.3) — so the runner farms one
+    array per task.  Indices are pulled dynamically from a shared
+    counter; any exception in a worker is re-raised in the caller after
+    all domains join.
+
+    Determinism contract: [f i] must confine its writes to slot [i] of
+    pre-allocated result arrays; the caller then merges slots in index
+    order, making every schedule (including [jobs = 1]) produce
+    bit-identical results. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], clamped to [1..8]. *)
+
+val parallel_for : jobs:int -> int -> (int -> unit) -> unit
+(** [parallel_for ~jobs n f] runs [f 0 .. f (n-1)] on [min jobs n]
+    domains ([jobs <= 1] degenerates to a plain sequential loop). *)

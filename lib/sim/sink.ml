@@ -1,0 +1,112 @@
+(* See sink.mli. *)
+
+type t = {
+  on_events : Exec.array_events -> unit;
+  on_state : (sym:int -> Engine.t array -> unit) option;
+  on_close : cycles:int -> unit;
+}
+
+type spec = { name : string; make : array_id:int -> chars:int -> t }
+
+let events_only ?(on_close = fun ~cycles:_ -> ()) on_events =
+  { on_events; on_state = None; on_close }
+
+(* ------------------------------------------------------------------ *)
+(* Stall tracer: one int per symbol per array.  Slots are indexed by
+   array id, so parallel workers write disjoint cells. *)
+
+let stall_trace ~num_arrays =
+  let traces = Array.make num_arrays [||] in
+  let spec =
+    {
+      name = "stall-trace";
+      make =
+        (fun ~array_id ~chars ->
+          let trace = Array.make chars 0 in
+          traces.(array_id) <- trace;
+          events_only (fun ev -> trace.(ev.Exec.sym) <- ev.Exec.stall));
+    }
+  in
+  (spec, fun () -> traces)
+
+(* ------------------------------------------------------------------ *)
+(* Per-symbol metrics trace: active states, stalls, reports, cross
+   signals and the full energy breakdown, as CSV or JSON.  Rows are
+   buffered per array and emitted in array order, so the dump is
+   deterministic under any schedule. *)
+
+type trace_format = Csv | Json
+
+let trace_format_of_path path =
+  if Filename.check_suffix (String.lowercase_ascii path) ".json" then Json else Csv
+
+let csv_header =
+  let cats =
+    List.map
+      (fun c ->
+        String.map
+          (fun ch -> if ch = ' ' || ch = '-' then '_' else Char.lowercase_ascii ch)
+          (Energy.category_name c)
+        ^ "_pj")
+      Energy.all_categories
+  in
+  String.concat "," ([ "array"; "sym"; "byte"; "active"; "stall"; "reports"; "cross" ] @ cats)
+
+let active_total (ev : Exec.array_events) =
+  Array.fold_left (fun acc t -> acc + t.Exec.t_active_states) 0 ev.Exec.tiles
+
+let trace arch ~format ~num_arrays =
+  let bufs = Array.init num_arrays (fun _ -> Buffer.create 1024) in
+  let spec =
+    {
+      name = "trace";
+      make =
+        (fun ~array_id ~chars:_ ->
+          let buf = bufs.(array_id) in
+          events_only (fun ev ->
+              let cost = Cost.of_events arch ev in
+              match format with
+              | Csv ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d" array_id ev.Exec.sym
+                       (Char.code ev.Exec.symbol) (active_total ev) ev.Exec.stall
+                       ev.Exec.reports ev.Exec.cross);
+                  Array.iter
+                    (fun pj -> Buffer.add_string buf (Printf.sprintf ",%.6f" pj))
+                    cost.Cost.cat_pj;
+                  Buffer.add_char buf '\n'
+              | Json ->
+                  Buffer.add_string buf
+                    (Printf.sprintf
+                       "{\"array\":%d,\"sym\":%d,\"byte\":%d,\"active\":%d,\"stall\":%d,\"reports\":%d,\"cross\":%d"
+                       array_id ev.Exec.sym (Char.code ev.Exec.symbol) (active_total ev)
+                       ev.Exec.stall ev.Exec.reports ev.Exec.cross);
+                  List.iteri
+                    (fun i c ->
+                      Buffer.add_string buf
+                        (Printf.sprintf ",\"%s_pj\":%.6f"
+                           (String.map
+                              (fun ch -> if ch = ' ' || ch = '-' then '_' else Char.lowercase_ascii ch)
+                              (Energy.category_name c))
+                           cost.Cost.cat_pj.(i)))
+                    Energy.all_categories;
+                  Buffer.add_string buf "},\n"));
+    }
+  in
+  let dump oc =
+    match format with
+    | Csv ->
+        output_string oc csv_header;
+        output_char oc '\n';
+        Array.iter (fun b -> output_string oc (Buffer.contents b)) bufs
+    | Json ->
+        let all = String.concat "" (Array.to_list (Array.map Buffer.contents bufs)) in
+        let all =
+          (* drop the trailing ",\n" so the array is well-formed *)
+          if String.length all >= 2 then String.sub all 0 (String.length all - 2) else all
+        in
+        output_string oc "[\n";
+        output_string oc all;
+        output_string oc "\n]\n"
+  in
+  (spec, dump)

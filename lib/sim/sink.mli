@@ -1,0 +1,48 @@
+(** Event-stream consumers.
+
+    A sink folds over the per-symbol {!Exec.array_events} stream of one
+    array; the runner attaches any number of sinks and drives them in a
+    single simulation pass.  Sinks never read engine internals — the
+    events record is their whole world.  (The one sanctioned exception is
+    [on_state], the transient-fault surface: it receives the engine array
+    so a fault sink can flip stored state bits {e after} the symbol's
+    events are banked, and must not read statistics from it.)
+
+    Because arrays are independent, a {!spec} is instantiated once per
+    array ([make ~array_id ~chars]) — possibly from different domains
+    under the parallel scheduler — and each instance only ever sees its
+    own array's stream, in symbol order.  Cross-array results must live
+    in per-array slots merged after the run (see {!stall_trace} and
+    {!trace} for the pattern), which is what keeps parallel schedules
+    bit-identical to sequential ones. *)
+
+type t = {
+  on_events : Exec.array_events -> unit;
+      (** Called once per input symbol, in symbol order. *)
+  on_state : (sym:int -> Engine.t array -> unit) option;
+      (** Fault-injection surface, called after [on_events] of every
+          attached sink; mutations are first visible at the next symbol. *)
+  on_close : cycles:int -> unit;
+      (** Called once when the array finishes, with its total cycles. *)
+}
+
+type spec = { name : string; make : array_id:int -> chars:int -> t }
+
+val events_only : ?on_close:(cycles:int -> unit) -> (Exec.array_events -> unit) -> t
+
+(** {1 Built-in sinks} *)
+
+val stall_trace : num_arrays:int -> spec * (unit -> int array array)
+(** Per-array per-symbol stall schedule (what {!Bank_sim.run} consumes).
+    Read the result only after the run completes. *)
+
+type trace_format = Csv | Json
+
+val trace_format_of_path : string -> trace_format
+(** [.json] (case-insensitive) selects JSON; anything else CSV. *)
+
+val trace : Arch.t -> format:trace_format -> num_arrays:int -> spec * (out_channel -> unit)
+(** Per-symbol metrics dump: array, offset, input byte, active states,
+    stall, reports, cross signals, and the energy breakdown by category
+    (via {!Cost.of_events}).  The returned function writes the whole
+    trace — rows grouped by array, symbols ascending — after the run. *)

@@ -43,7 +43,7 @@ let test_simulate_errors () =
   check bool "no parseable regex" true
     (match Rap.simulate ~regexes:[ "(((" ] ~input:"x" () with Error _ -> true | Ok _ -> false)
 
-let env = { Experiments.chars = 800; scale = 1 }
+let env = { Experiments.chars = 800; scale = 1; jobs = 1 }
 
 let test_fig1_rows () =
   let rows = Experiments.fig1 env in

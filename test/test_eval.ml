@@ -59,7 +59,7 @@ let test_json_export () =
   check bool "fields present" true (Astring_contains.contains s "energy_efficiency_Gchps_per_W")
 
 let test_ablations () =
-  let env = { Experiments.chars = 1_000; scale = 1 } in
+  let env = { Experiments.chars = 1_000; scale = 1; jobs = 1 } in
   let rows = Ablations.run env ~suite:"Yara" ~params in
   check int "all configurations ran" (List.length Ablations.all_configs) (List.length rows);
   let find c = List.find (fun r -> r.Ablations.config = c) rows in

@@ -1,0 +1,223 @@
+(* Layered execution core: event stream (Exec), sinks, and the parallel
+   per-array scheduler.  The load-bearing property is bit-identity: every
+   jobs value must produce exactly the same report — same floats, not
+   merely close ones. *)
+
+open Alcotest
+
+let params = Program.default_params
+let parse = Parser.parse_exn
+let rap = Arch.rap ~bv_depth:params.Program.bv_depth
+
+(* A rule set exercising all three modes, mapped onto several arrays. *)
+let mixed_rules () = (Benchmarks.by_name "Yara").Benchmarks.regexes
+
+let mixed_placement () =
+  let units, errs = Runner.compile_for rap ~params (mixed_rules ()) in
+  check int "mixed rules compile" 0 (List.length errs);
+  let p = Runner.place rap ~params units in
+  let modes = Hashtbl.create 3 in
+  Array.iter
+    (Array.iter (fun (t : Mapper.placed_tile) -> Hashtbl.replace modes t.Mapper.mode ()))
+    p.Mapper.arrays;
+  check bool "rule set is mixed-mode" true (Hashtbl.length modes >= 2);
+  p
+
+let mixed_input () = (Benchmarks.by_name "Yara").Benchmarks.make_input ~chars:2_000
+
+let check_reports_equal label (a : Runner.report) (b : Runner.report) =
+  check int (label ^ ": cycles") a.Runner.cycles b.Runner.cycles;
+  check int (label ^ ": reports") a.Runner.match_reports b.Runner.match_reports;
+  List.iter
+    (fun cat ->
+      check (float 0.) (* exact: bit-identity, not approximation *)
+        (label ^ ": " ^ Energy.category_name cat)
+        (Energy.get_pj a.Runner.energy cat)
+        (Energy.get_pj b.Runner.energy cat))
+    Energy.all_categories;
+  List.iter2
+    (fun (_, pa) (_, pb) -> check (float 0.) (label ^ ": mode energy") pa pb)
+    a.Runner.mode_energy_pj b.Runner.mode_energy_pj;
+  check bool (label ^ ": array details") true (a.Runner.arrays_detail = b.Runner.arrays_detail)
+
+let test_seq_parallel_bit_identical () =
+  let p = mixed_placement () in
+  check bool "several arrays" true (Array.length p.Mapper.arrays > 1);
+  let input = mixed_input () in
+  let run jobs = Runner.run ~jobs rap ~params p ~input in
+  let seq = run 1 in
+  check bool "simulation does work" true (Energy.total_pj seq.Runner.energy > 0.);
+  List.iter
+    (fun jobs -> check_reports_equal (Printf.sprintf "jobs=%d" jobs) seq (run jobs))
+    [ 2; 4; 7 ]
+
+let test_scheduler_covers_and_propagates () =
+  (* every index runs exactly once, on any worker *)
+  List.iter
+    (fun (jobs, n) ->
+      let hits = Array.make n 0 in
+      Scheduler.parallel_for ~jobs n (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iteri (fun i h -> check int (Printf.sprintf "index %d once" i) 1 h) hits)
+    [ (1, 5); (4, 1); (4, 17); (8, 8) ];
+  (* zero-length loop is a no-op *)
+  Scheduler.parallel_for ~jobs:4 0 (fun _ -> fail "no work expected");
+  (* a worker exception reaches the caller *)
+  check_raises "exception propagates" (Invalid_argument "boom") (fun () ->
+      Scheduler.parallel_for ~jobs:4 8 (fun i -> if i = 5 then invalid_arg "boom"))
+
+(* The single-pass stall trace must equal an independent re-simulation —
+   the exact schedule the deleted two-pass implementation produced. *)
+let test_stall_trace_single_pass_matches_reference () =
+  let regexes = [ ("t", parse "t[a-z]{4,40}"); ("u", parse "u{8}v") ] in
+  let units, _ = Runner.compile_for rap ~params regexes in
+  let p = Runner.place rap ~params units in
+  let input = String.concat "" (List.init 40 (fun _ -> "tabcdefgh uuuuuuuuv ")) in
+  let r, traces = Runner.run_with_stall_traces rap ~params p ~input in
+  let reference =
+    Array.map
+      (fun tiles ->
+        let ex = Exec.build p tiles in
+        Array.init (String.length input) (fun sym ->
+            (Exec.step rap ex ~sym input.[sym]).Exec.stall))
+      p.Mapper.arrays
+  in
+  check int "one trace per array" (Array.length p.Mapper.arrays) (Array.length traces);
+  Array.iteri
+    (fun a trace ->
+      check (array int) (Printf.sprintf "array %d stall schedule" a) reference.(a) trace)
+    traces;
+  (* and the report still accounts the stalls *)
+  check bool "stalls happened" true (Array.exists (Array.exists (fun s -> s > 0)) traces);
+  check bool "cycles include stalls" true (r.Runner.cycles > r.Runner.chars)
+
+(* Trace sink: rows must reproduce, field by field, an independent replay
+   of the event stream through the same cost model. *)
+let test_trace_sink_csv_golden () =
+  let regexes = [ ("a", parse "ab{3,10}c"); ("w", parse "wget") ] in
+  let units, _ = Runner.compile_for rap ~params regexes in
+  let p = Runner.place rap ~params units in
+  let input = "abbbc wget abbbbbbc xx" in
+  let num_arrays = Array.length p.Mapper.arrays in
+  let spec, dump = Sink.trace rap ~format:Sink.Csv ~num_arrays in
+  ignore (Runner.run ~sinks:[ spec ] rap ~params p ~input);
+  let path = Filename.temp_file "rap_trace" ".csv" in
+  let oc = open_out path in
+  dump oc;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  let header = List.hd lines and rows = List.tl lines in
+  check string "header"
+    ("array,sym,byte,active,stall,reports,cross,state_matching_pj,state_transition_pj,"
+    ^ "bv_processing_pj,global_routing_pj,controller_pj,leakage_pj,io_pj")
+    header;
+  check int "one row per array per symbol" (num_arrays * String.length input)
+    (List.length rows);
+  (* independent replay: expected row text from a fresh Exec + Cost *)
+  let expected =
+    List.concat
+      (List.init num_arrays (fun a ->
+           let ex = Exec.build p p.Mapper.arrays.(a) in
+           List.init (String.length input) (fun sym ->
+               let ev = Exec.step rap ex ~sym input.[sym] in
+               let cost = Cost.of_events rap ev in
+               let active =
+                 Array.fold_left (fun acc t -> acc + t.Exec.t_active_states) 0 ev.Exec.tiles
+               in
+               Printf.sprintf "%d,%d,%d,%d,%d,%d,%d" a sym (Char.code input.[sym]) active
+                 ev.Exec.stall ev.Exec.reports ev.Exec.cross
+               ^ String.concat ""
+                   (List.map (Printf.sprintf ",%.6f") (Array.to_list cost.Cost.cat_pj)))))
+  in
+  List.iteri
+    (fun i (want, got) -> check string (Printf.sprintf "row %d" i) want got)
+    (List.combine expected rows)
+
+let test_trace_sink_json_well_formed () =
+  let regexes = [ ("a", parse "abc") ] in
+  let units, _ = Runner.compile_for rap ~params regexes in
+  let p = Runner.place rap ~params units in
+  let input = "xabcx" in
+  let spec, dump = Sink.trace rap ~format:Sink.Json ~num_arrays:(Array.length p.Mapper.arrays) in
+  ignore (Runner.run ~sinks:[ spec ] rap ~params p ~input);
+  let buf = Buffer.create 256 in
+  let path = Filename.temp_file "rap_trace" ".json" in
+  let oc = open_out path in
+  dump oc;
+  close_out oc;
+  let ic = open_in path in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let s = Buffer.contents buf in
+  check bool "array brackets" true (String.length s > 2 && s.[0] = '[');
+  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 s in
+  check int "one object per symbol" (String.length input) (count '{');
+  check int "objects closed" (count '{') (count '}');
+  check bool "format from path" true (Sink.trace_format_of_path "x/y.JSON" = Sink.Json);
+  check bool "csv otherwise" true (Sink.trace_format_of_path "t.csv" = Sink.Csv)
+
+(* Satellite: state_bits counts exactly the flippable surface — every
+   index below it flips (and flips back) without raising. *)
+let test_state_bits_flip_coverage () =
+  let engines =
+    [
+      ("NFA", Engine.of_nfa_unit ~ast:(parse "ab|cd") (Nfa_compile.compile (parse "ab|cd")));
+      ("NBVA", Engine.of_nbva_unit (Nbva_compile.compile ~params (parse "x[ab]{5,30}y")));
+      ( "LNFA",
+        let mk s =
+          { Program.labels = Array.init (String.length s) (fun i -> Charclass.singleton s.[i]);
+            single_code = true }
+        in
+        Engine.of_bin (List.hd (Binning.pack ~max_bin_size:4 [ (0, mk "abc"); (1, mk "def") ]))
+      );
+    ]
+  in
+  List.iter
+    (fun (name, e) ->
+      let n = Engine.state_bits e in
+      check bool (name ^ " has state bits") true (n > 0);
+      for i = 0 to n - 1 do
+        Engine.flip_state_bit e i;
+        Engine.flip_state_bit e i
+      done;
+      check_raises (name ^ " rejects out-of-range")
+        (Invalid_argument "Engine.flip_state_bit: index out of range") (fun () ->
+          Engine.flip_state_bit e n))
+    engines
+
+(* Satellite: run_regexes surfaces what the architecture rejects. *)
+let test_run_regexes_surfaces_errors () =
+  let big = String.concat "|" (List.init 400 (fun i -> Printf.sprintf "verylongword%06d" i)) in
+  let regexes = [ ("ok", parse "abc"); (big, parse big) ] in
+  let r, errors = Runner.run_regexes Arch.cama ~params regexes ~input:"xxabcxx" in
+  check bool "surviving rule still matches" true (r.Runner.match_reports > 0);
+  check int "oversize rule surfaced" 1 (List.length errors);
+  check string "error names the rule" big (List.hd errors).Compile_error.source;
+  (* a fully valid set reports none *)
+  let _, none = Runner.run_regexes rap ~params [ ("ok", parse "abc") ] ~input:"abc" in
+  check int "no spurious errors" 0 (List.length none)
+
+let suite =
+  [
+    test_case "sequential = parallel, bit for bit" `Quick test_seq_parallel_bit_identical;
+    test_case "scheduler coverage and exceptions" `Quick test_scheduler_covers_and_propagates;
+    test_case "single-pass stall trace = reference" `Quick
+      test_stall_trace_single_pass_matches_reference;
+    test_case "trace sink CSV golden" `Quick test_trace_sink_csv_golden;
+    test_case "trace sink JSON well-formed" `Quick test_trace_sink_json_well_formed;
+    test_case "state_bits flip coverage" `Quick test_state_bits_flip_coverage;
+    test_case "run_regexes surfaces compile errors" `Quick test_run_regexes_surfaces_errors;
+  ]

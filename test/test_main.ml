@@ -12,6 +12,7 @@ let () =
       ("compiler", Test_compiler.suite);
       ("mapper", Test_mapper.suite);
       ("sim", Test_sim.suite);
+      ("exec", Test_exec.suite);
       ("fault", Test_fault.suite);
       ("workloads", Test_workloads.suite);
       ("api", Test_api.suite);

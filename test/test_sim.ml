@@ -13,8 +13,8 @@ let engine_report_positions engine input =
   let acc = ref [] in
   String.iteri
     (fun p c ->
-      Engine.step engine c;
-      if Engine.reports engine > 0 then acc := p :: !acc)
+      let ev = Engine.step engine c in
+      if ev.Engine.reports > 0 then acc := p :: !acc)
     input;
   List.rev !acc
 
@@ -50,12 +50,9 @@ let prop_nfa_engine_activity =
       let ok = ref true in
       String.iteri
         (fun p c ->
-          Engine.step e c;
-          let total = ref 0 in
-          for t = 0 to Engine.num_tiles e - 1 do
-            total := !total + Engine.tile_active_states e t
-          done;
-          if !total <> direct.Nfa.active_per_step.(p) then ok := false)
+          let ev = Engine.step e c in
+          let total = Array.fold_left ( + ) 0 ev.Engine.active in
+          if total <> direct.Nfa.active_per_step.(p) then ok := false)
         input;
       !ok)
 
@@ -117,10 +114,10 @@ let test_bin_power_gating () =
   let b = List.hd bins in
   check bool "multi-tile bin" true (b.Binning.tiles > 1);
   let e = Engine.of_bin b in
-  Engine.step e 'z' (* matches nothing *);
-  check bool "tile 0 powered" true (Engine.tile_powered e 0);
+  let ev = Engine.step e 'z' (* matches nothing *) in
+  check bool "tile 0 powered" true ev.Engine.powered.(0);
   for t = 1 to Engine.num_tiles e - 1 do
-    check bool "other tiles gated" false (Engine.tile_powered e t)
+    check bool "other tiles gated" false ev.Engine.powered.(t)
   done
 
 let test_bv_trigger_and_stall () =
