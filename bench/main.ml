@@ -66,10 +66,14 @@ let micro () =
         (Staged.stage (fun () ->
              let st = Shift_and.start sa in
              String.iter (fun c -> ignore (Shift_and.step sa st c)) input1k));
-      Test.make ~name:"nbva step x1k (Table 2 kernel)"
+      Test.make ~name:"nbva step x1k (Table 2 kernel, bit-parallel)"
         (Staged.stage (fun () ->
              let st = Nbva.start nbva in
              String.iter (fun c -> ignore (Nbva.step nbva st c)) input1k));
+      Test.make ~name:"nbva step_reference x1k (pre-PR scalar kernel)"
+        (Staged.stage (fun () ->
+             let st = Nbva.start nbva in
+             String.iter (fun c -> ignore (Nbva.step_reference nbva st c)) input1k));
       Test.make ~name:"nfa step x1k (NFA-mode kernel)"
         (Staged.stage (fun () -> ignore (Nfa.run nfa input1k)));
       Test.make ~name:"compile 24 Snort rules (Fig 9 decision + backends)"
@@ -107,16 +111,61 @@ let micro () =
     tests
 
 (* Machine-readable simulator benchmark: wall-clock and simulated
-   throughput of Runner.run at jobs=1 vs jobs=N per workload, plus a
-   bit-identity check between the two schedules. *)
+   throughput of Runner.run at jobs=1 vs jobs=N per workload, a
+   bit-identity check between the two schedules, and the NBVA kernel
+   differential — the pre-PR scalar [Nbva.step_reference] versus the
+   bit-parallel [Nbva.step], both full-stack (per workload) and raw
+   (stepping the NFA-heavy workload's automata directly). *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let with_kernel k f =
+  Nbva.kernel := k;
+  Fun.protect ~finally:(fun () -> Nbva.kernel := Nbva.Bit_parallel) f
+
+(* Raw kernel throughput on the NFA-heavy workload: step every compiled
+   NBVA executor (the automaton behind each NFA-mode unit, threshold 2 as
+   Engine.make_nfa_engine uses) over the input with each kernel, and
+   cross-check their match counts. *)
+let kernel_bench env ~name =
+  let s = Benchmarks.by_name ~scale:env.Experiments.scale name in
+  let input = s.Benchmarks.make_input ~chars:env.Experiments.chars in
+  let automata =
+    List.filter_map
+      (fun (_, ast) -> try Some (Nbva.compile ~threshold:2 ast) with Invalid_argument _ -> None)
+      s.Benchmarks.regexes
+  in
+  let run step () =
+    List.fold_left
+      (fun acc t ->
+        let st = Nbva.start t in
+        let hits = ref 0 in
+        String.iter (fun c -> if step t st c then incr hits) input;
+        acc + !hits)
+      0 automata
+  in
+  ignore (run Nbva.step ()) (* warm-up *);
+  let hits_ref, ref_s = time (run Nbva.step_reference) in
+  let hits_bp, bp_s = time (run Nbva.step) in
+  let syms = float_of_int (String.length input * List.length automata) in
+  let sps wall = if wall > 0. then syms /. wall else 0. in
+  let speedup = if bp_s > 0. then ref_s /. bp_s else 0. in
+  Printf.printf
+    "%-14s kernel (%d automata): reference %.3fs (%.3e sym/s), bit-parallel %.3fs (%.3e sym/s), speedup %.2fx, identical=%b\n%!"
+    name (List.length automata) ref_s (sps ref_s) bp_s (sps bp_s) speedup (hits_ref = hits_bp);
+  Printf.sprintf
+    {|    {"workload": %S, "chars": %d, "automata": %d,
+     "reference_wall_s": %.6f, "bitparallel_wall_s": %.6f,
+     "reference_syms_per_s": %.1f, "bitparallel_syms_per_s": %.1f,
+     "speedup": %.4f, "identical": %b}|}
+    name (String.length input) (List.length automata) ref_s bp_s (sps ref_s) (sps bp_s) speedup
+    (hits_ref = hits_bp)
+
 let sim env ~out =
   let jobs =
     if env.Experiments.jobs > 1 then env.Experiments.jobs else Scheduler.default_jobs ()
-  in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
   in
   let params = Program.default_params in
   let arch = Rap.rap_arch () in
@@ -131,27 +180,36 @@ let sim env ~out =
         ignore (run 1 ()) (* warm-up: page in code and input *);
         let seq, seq_s = time (run 1) in
         let par, par_s = time (run jobs) in
+        let refk, refk_s = time (fun () -> with_kernel Nbva.Reference (run 1)) in
         let gchs wall =
           if wall > 0. then float_of_int seq.Runner.chars /. wall /. 1e9 else 0.
         in
         Printf.printf
-          "%-14s %d arrays: jobs=1 %.3fs (%.4f Gch/s), jobs=%d %.3fs (%.4f Gch/s), speedup %.2fx, identical=%b\n%!"
+          "%-14s %d arrays: jobs=1 %.3fs (%.4f Gch/s), jobs=%d %.3fs (%.4f Gch/s), speedup %.2fx, identical=%b; scalar-kernel %.3fs (%.2fx, identical=%b)\n%!"
           name seq.Runner.num_arrays seq_s (gchs seq_s) jobs par_s (gchs par_s)
           (if par_s > 0. then seq_s /. par_s else 0.)
-          (seq = par);
+          (seq = par) refk_s
+          (if seq_s > 0. then refk_s /. seq_s else 0.)
+          (refk = seq);
         Printf.sprintf
           {|    {"workload": %S, "chars": %d, "arrays": %d, "jobs": %d,
      "seq_wall_s": %.6f, "par_wall_s": %.6f, "speedup": %.4f,
      "seq_gchs": %.6f, "par_gchs": %.6f,
-     "simulated_gchs": %.6f, "identical": %b}|}
+     "simulated_gchs": %.6f, "identical": %b,
+     "ref_kernel_wall_s": %.6f, "kernel_speedup": %.4f, "kernel_identical": %b}|}
           name seq.Runner.chars seq.Runner.num_arrays jobs seq_s par_s
           (if par_s > 0. then seq_s /. par_s else 0.)
-          (gchs seq_s) (gchs par_s) seq.Runner.throughput_gchs (seq = par))
+          (gchs seq_s) (gchs par_s) seq.Runner.throughput_gchs (seq = par) refk_s
+          (if seq_s > 0. then refk_s /. seq_s else 0.)
+          (refk = seq))
       [ "Snort"; "Yara"; "ClamAV"; "Prosite" ]
   in
+  let kernel_rows = List.map (fun name -> kernel_bench env ~name) [ "Snort"; "Yara" ] in
   let oc = open_out out in
-  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"workloads\": [\n%s\n  ]\n}\n" jobs
-    (String.concat ",\n" rows);
+  Printf.fprintf oc
+    "{\n  \"jobs\": %d,\n  \"workloads\": [\n%s\n  ],\n  \"nfa_kernel\": [\n%s\n  ]\n}\n" jobs
+    (String.concat ",\n" rows)
+    (String.concat ",\n" kernel_rows);
   close_out oc;
   Printf.printf "wrote %s\n" out
 

@@ -52,14 +52,32 @@ let is_zero t = Array.for_all (fun w -> w = 0) t.words
 let equal a b =
   a.width = b.width && Array.for_all2 (fun x y -> x = y) a.words b.words
 
+(* SWAR popcount over one 62-bit word.  The usual 64-bit masks are
+   truncated to 62 bits (0x55... does not fit in a tagged int); the byte
+   sum lands in bits 56..62 of the product, which a 63-bit int retains
+   because the count never exceeds 62. *)
+let popcount_word w =
+  let w = w - ((w lsr 1) land 0x1555555555555555) in
+  let w = (w land 0x3333333333333333) + ((w lsr 2) land 0x3333333333333333) in
+  let w = (w + (w lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (w * 0x0101010101010101) lsr 56
+
 let popcount t =
-  let count_word w =
-    let rec loop acc w = if w = 0 then acc else loop (acc + 1) (w land (w - 1)) in
-    loop 0 w
-  in
-  Array.fold_left (fun acc w -> acc + count_word w) 0 t.words
+  let acc = ref 0 in
+  for i = 0 to Array.length t.words - 1 do
+    acc := !acc + popcount_word t.words.(i)
+  done;
+  !acc
 
 let check_same a b = if a.width <> b.width then invalid_arg "Bitvec: width mismatch"
+
+let popcount_and a b =
+  check_same a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount_word (a.words.(i) land b.words.(i))
+  done;
+  !acc
 
 let or_in dst src =
   check_same dst src;
@@ -115,13 +133,45 @@ let shift_right1 t ~carry_in =
   end
   else normalize t
 
+(* Number of trailing zeros of [b], which has exactly one set bit. *)
+let ntz_one b =
+  let n = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    b := !b lsr 32
+  end;
+  if !b land 0xFFFF = 0 then begin
+    n := !n + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xFF = 0 then begin
+    n := !n + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xF = 0 then begin
+    n := !n + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    n := !n + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then incr n;
+  !n
+
+(* ctz-style scan: zero words are skipped whole, and within a word each
+   iteration jumps straight to the lowest set bit ([w land -w]) instead of
+   probing all 62 positions. *)
 let iter_set f t =
   for i = 0 to Array.length t.words - 1 do
-    let w = t.words.(i) in
-    if w <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if (w lsr b) land 1 = 1 then f ((i * bits_per_word) + b)
+    let w = ref t.words.(i) in
+    if !w <> 0 then begin
+      let base = i * bits_per_word in
+      while !w <> 0 do
+        f (base + ntz_one (!w land - !w));
+        w := !w land (!w - 1)
       done
+    end
   done
 
 let of_bool_array bs =

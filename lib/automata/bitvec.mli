@@ -23,7 +23,13 @@ val clear : t -> unit
 val fill_ones : t -> unit
 val is_zero : t -> bool
 val equal : t -> t -> bool
+
 val popcount : t -> int
+(** Word-parallel (SWAR) bit count. *)
+
+val popcount_and : t -> t -> int
+(** [popcount_and a b] is [popcount (a land b)] without allocating the
+    intersection; operands must have equal width. *)
 
 (** {1 Bulk operations} — operands must have equal width. *)
 

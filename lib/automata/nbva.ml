@@ -4,6 +4,18 @@ type ste =
   | Plain of Charclass.t
   | Bv of { cc : Charclass.t; size : int; read : read_action }
 
+(* Bit-parallel execution plan, built once per automaton: one bit per STE,
+   in state order.  [labels_mask] has bits only at Plain positions — the
+   per-symbol AND therefore leaves every BV position clear, and the scalar
+   BV pass sets exactly the BV bits that fire. *)
+type exec_plan = {
+  labels_mask : Bitvec.t array;  (* indexed by byte: Plain STEs whose class matches *)
+  initial_mask : Bitvec.t;
+  final_mask : Bitvec.t;
+  succ_mask : Bitvec.t array;  (* per state: its successors as a mask *)
+  bv_states : int array;  (* dense indices of BV-STEs, ascending *)
+}
+
 type t = {
   stes : ste array;
   succs : int array array;
@@ -11,6 +23,7 @@ type t = {
   initial : bool array;
   finals : bool array;
   accepts_empty : bool;
+  plan : exec_plan;
 }
 
 let cc_of = function Plain cc -> cc | Bv { cc; _ } -> cc
@@ -96,13 +109,36 @@ let of_ast r =
   let initial = Array.make n false and finals = Array.make n false in
   ISet.iter (fun q -> initial.(q) <- true) info.first;
   ISet.iter (fun q -> finals.(q) <- true) info.last;
+  let succs = Array.map finish succ_lists in
+  let labels_mask = Array.init 256 (fun _ -> Bitvec.create n) in
+  let initial_mask = Bitvec.create n in
+  let final_mask = Bitvec.create n in
+  let succ_mask = Array.init n (fun _ -> Bitvec.create n) in
+  let bv_states = ref [] in
+  Array.iteri
+    (fun q ste ->
+      (match ste with
+      | Plain cc -> Charclass.iter (fun b -> Bitvec.set labels_mask.(b) q) cc
+      | Bv _ -> bv_states := q :: !bv_states);
+      if initial.(q) then Bitvec.set initial_mask q;
+      if finals.(q) then Bitvec.set final_mask q;
+      Array.iter (fun s -> Bitvec.set succ_mask.(q) s) succs.(q))
+    stes;
   {
     stes;
-    succs = Array.map finish succ_lists;
+    succs;
     preds = Array.map finish pred_lists;
     initial;
     finals;
     accepts_empty = info.nullable;
+    plan =
+      {
+        labels_mask;
+        initial_mask;
+        final_mask;
+        succ_mask;
+        bv_states = Array.of_list (List.rev !bv_states);
+      };
   }
 
 let compile ~threshold r =
@@ -111,25 +147,71 @@ let compile ~threshold r =
 (* Execution. *)
 
 type run_state = {
-  out : bool array;  (* output activation after the last symbol *)
-  next_out : bool array;  (* scratch double buffer *)
+  mutable active : Bitvec.t;  (* output activation after the last symbol, one bit per STE *)
+  mutable next : Bitvec.t;  (* scratch double buffer, swapped with [active] *)
+  avail : Bitvec.t;  (* scratch: availability of each STE this symbol *)
   vectors : Bitvec.t option array;  (* per-STE bit vector, None for Plain *)
+  or_succ : int -> unit;  (* preallocated [avail |= succ_mask.(q)], for iter_set *)
 }
 
 let start t =
   let n = num_states t in
+  let avail = Bitvec.create n in
+  let succ_mask = t.plan.succ_mask in
   {
-    out = Array.make n false;
-    next_out = Array.make n false;
+    active = Bitvec.create n;
+    next = Bitvec.create n;
+    avail;
     vectors =
       Array.map (function Bv { size; _ } -> Some (Bitvec.create size) | Plain _ -> None) t.stes;
+    or_succ = (fun q -> Bitvec.or_in avail succ_mask.(q));
   }
 
+(* Bit-parallel kernel: availability and Plain-STE activation are computed
+   word-parallel over the packed active vector; only BV-STEs (a short dense
+   list) get a scalar vector update.  Every buffer lives in [run_state], so
+   the steady-state loop allocates nothing. *)
 let step t st c =
+  let p = t.plan in
+  (* avail = initial OR (union of successor masks of active states) *)
+  Bitvec.blit ~src:p.initial_mask ~dst:st.avail;
+  Bitvec.iter_set st.or_succ st.active;
+  (* Plain STEs, all at once: next = avail AND labels[c] *)
+  Bitvec.blit ~src:st.avail ~dst:st.next;
+  Bitvec.and_in st.next p.labels_mask.(Char.code c);
+  (* BV-STEs keep their scalar vector updates, driven from the dense list *)
+  let bvs = p.bv_states in
+  for i = 0 to Array.length bvs - 1 do
+    let q = bvs.(i) in
+    match t.stes.(q) with
+    | Plain _ -> assert false
+    | Bv { cc; read; size = _ } ->
+        let v = match st.vectors.(q) with Some v -> v | None -> assert false in
+        if Charclass.mem cc c then begin
+          Bitvec.shift_left1 v ~carry_in:false;
+          if Bitvec.get st.avail q then Bitvec.set v 0
+        end
+        else Bitvec.clear v;
+        let fires =
+          match read with
+          | Read_exact m -> Bitvec.get v (m - 1)
+          | Read_all -> not (Bitvec.is_zero v)
+        in
+        if fires then Bitvec.set st.next q
+  done;
+  let cur = st.active in
+  st.active <- st.next;
+  st.next <- cur;
+  Bitvec.intersects st.active p.final_mask
+
+(* The pre-bit-parallel scalar kernel, kept as the differential-testing
+   reference: one pass over all states probing predecessor lists.  Must
+   stay bit-identical to [step] (asserted by test/test_nbva_diff.ml). *)
+let step_reference t st c =
   let n = num_states t in
   let hit = ref false in
   for q = 0 to n - 1 do
-    let avail = t.initial.(q) || Array.exists (fun j -> st.out.(j)) t.preds.(q) in
+    let avail = t.initial.(q) || Array.exists (fun j -> Bitvec.get st.active j) t.preds.(q) in
     let active =
       match t.stes.(q) with
       | Plain cc -> avail && Charclass.mem cc c
@@ -144,11 +226,23 @@ let step t st c =
           | Read_exact m -> Bitvec.get v (m - 1)
           | Read_all -> not (Bitvec.is_zero v))
     in
-    st.next_out.(q) <- active;
-    if active && t.finals.(q) then hit := true
+    if active then begin
+      Bitvec.set st.next q;
+      if t.finals.(q) then hit := true
+    end
+    else Bitvec.reset st.next q
   done;
-  Array.blit st.next_out 0 st.out 0 n;
+  let cur = st.active in
+  st.active <- st.next;
+  st.next <- cur;
   !hit
+
+type kernel = Bit_parallel | Reference
+
+let kernel = ref Bit_parallel
+
+let step_selected t st c =
+  match !kernel with Bit_parallel -> step t st c | Reference -> step_reference t st c
 
 let bv_active_count t st =
   let acc = ref 0 in
@@ -160,20 +254,16 @@ let bv_active_count t st =
     t.stes;
   !acc
 
-let active_count _t st = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 st.out
+let active_count _t st = Bitvec.popcount st.active
 
-let outputs st = st.out
+let outputs st = st.active
 let vectors st = st.vectors
-
-let reports t st =
-  let acc = ref 0 in
-  Array.iteri (fun q final -> if final && st.out.(q) then incr acc) t.finals;
-  !acc
+let reports t st = Bitvec.popcount_and st.active t.plan.final_mask
 
 let match_ends t input =
   let st = start t in
   let acc = ref [] in
-  String.iteri (fun p c -> if step t st c then acc := p :: !acc) input;
+  String.iteri (fun p c -> if step_selected t st c then acc := p :: !acc) input;
   List.rev !acc
 
 let count_matches t input = List.length (match_ends t input)

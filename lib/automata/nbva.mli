@@ -20,6 +20,10 @@ type ste =
   | Plain of Charclass.t
   | Bv of { cc : Charclass.t; size : int; read : read_action }
 
+type exec_plan
+(** Bit-parallel execution tables (per-byte label masks, per-state
+    successor masks, dense BV-STE list), built once by {!of_ast}. *)
+
 type t = {
   stes : ste array;
   succs : int array array;
@@ -27,6 +31,7 @@ type t = {
   initial : bool array;
   finals : bool array;
   accepts_empty : bool;
+  plan : exec_plan;
 }
 
 val of_ast : Ast.t -> t
@@ -51,16 +56,36 @@ val cc_of : ste -> Charclass.t
 type run_state
 
 val start : t -> run_state
+
 val step : t -> run_state -> char -> bool
-(** [true] when a match ends at this symbol. *)
+(** [true] when a match ends at this symbol.  This is the bit-parallel
+    kernel: Plain-STE availability and activation are computed word-wise
+    over a packed active vector; BV-STEs get scalar vector updates driven
+    from a dense index list.  The steady-state loop allocates nothing. *)
+
+val step_reference : t -> run_state -> char -> bool
+(** The scalar pre-bit-parallel kernel (per-state predecessor probing),
+    kept as the differential-testing reference.  Bit-identical to {!step}
+    on every input: same return value, active vector, and BV vectors. *)
+
+type kernel = Bit_parallel | Reference
+
+val kernel : kernel ref
+(** Kernel selector consulted by {!step_selected} (default
+    [Bit_parallel]); lets the whole simulator stack, benchmarks and CI
+    swap kernels for differential runs.  Set it only between runs. *)
+
+val step_selected : t -> run_state -> char -> bool
+(** {!step} or {!step_reference} according to {!kernel}. *)
 
 val bv_active_count : t -> run_state -> int
 (** Number of BV-STEs whose vector is currently nonzero — the trigger count
     of the bit-vector-processing phase. *)
 
-val outputs : run_state -> bool array
-(** Per-STE output activation after the last {!step} (do not mutate); the
-    hardware simulator reads this to attribute activity to tiles. *)
+val outputs : run_state -> Bitvec.t
+(** Packed per-STE output activation after the last {!step} (bit [q] is
+    STE [q]); the hardware simulator ANDs tile masks against this to
+    attribute activity to tiles.  Mutate only for fault injection. *)
 
 val vectors : run_state -> Bitvec.t option array
 (** Per-STE bit vectors ([None] for plain STEs; do not mutate). *)

@@ -68,10 +68,7 @@ let step t states c =
 let active_count _t states = Bitvec.popcount states
 let state_vector states = states
 
-let final_hits t states =
-  let scratch = Bitvec.copy states in
-  Bitvec.and_in scratch t.final_mask;
-  Bitvec.popcount scratch
+let final_hits t states = Bitvec.popcount_and states t.final_mask
 
 let pattern_offsets t = t.offsets
 

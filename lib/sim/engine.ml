@@ -41,6 +41,8 @@ type nfa_engine = {
   offsets : int array;  (* exec state -> first unfolded Glushkov position *)
   (* cross-edge sources, pre-resolved to (exec state, bit or -1 for plain) *)
   cross_sources : (int * int) array;
+  plain_tile_masks : Bitvec.t array;  (* per tile: Plain exec states mapped there *)
+  bv_bit_tiles : (int * int array) array;  (* BV exec state, per-bit tile *)
   static_cols : int array;
   n_stats : events;
 }
@@ -74,46 +76,58 @@ let make_nfa_engine ~ast (u : Program.nfa_unit) =
     | Nbva.Bv _ -> (q, pos - offsets.(q))
   in
   let cross_sources = Array.of_list (List.map (fun (p, _) -> resolve p) u.Program.cross_edges) in
+  let ntiles = Array.length u.Program.tile_states in
+  let tile_of = u.Program.tile_of_state in
+  (* per-tile masks over exec states (Plain only: a BV exec state stands
+     for a whole unfolded chain, attributed per vector bit below) *)
+  let plain_tile_masks = Array.init ntiles (fun _ -> Bitvec.create n) in
+  let bv_bit_tiles = ref [] in
+  Array.iteri
+    (fun q ste ->
+      match ste with
+      | Nbva.Plain _ -> Bitvec.set plain_tile_masks.(tile_of.(offsets.(q))) q
+      | Nbva.Bv { size; _ } ->
+          bv_bit_tiles := (q, Array.init size (fun bit -> tile_of.(offsets.(q) + bit))) :: !bv_bit_tiles)
+    exec.Nbva.stes;
   {
     u;
     exec;
     exec_st = Nbva.start exec;
     offsets;
     cross_sources;
+    plain_tile_masks;
+    bv_bit_tiles = Array.of_list (List.rev !bv_bit_tiles);
     static_cols = u.Program.tile_cols;
-    n_stats = stats_create (Array.length u.Program.tile_states);
+    n_stats = stats_create ntiles;
   }
 
 let nfa_step (e : nfa_engine) c =
   let s = e.n_stats in
   stats_reset s;
-  ignore (Nbva.step e.exec e.exec_st c);
-  let out = Nbva.outputs e.exec_st and vecs = Nbva.vectors e.exec_st in
-  let tile_of = e.u.Program.tile_of_state in
-  Array.iteri
-    (fun q ste ->
-      match ste with
-      | Nbva.Plain _ ->
-          if out.(q) then
-            let t = tile_of.(e.offsets.(q)) in
-            s.active.(t) <- s.active.(t) + 1
-      | Nbva.Bv _ -> (
-          match vecs.(q) with
-          | Some v ->
-              if not (Bitvec.is_zero v) then
-                Bitvec.iter_set
-                  (fun bit ->
-                    let t = tile_of.(e.offsets.(q) + bit) in
-                    s.active.(t) <- s.active.(t) + 1)
-                  v
-          | None -> assert false))
-    e.exec.Nbva.stes;
+  ignore (Nbva.step_selected e.exec e.exec_st c);
+  let act = Nbva.outputs e.exec_st and vecs = Nbva.vectors e.exec_st in
+  (* Plain activity per tile: one mask AND + popcount per tile *)
+  for t = 0 to Array.length s.active - 1 do
+    s.active.(t) <- Bitvec.popcount_and act e.plain_tile_masks.(t)
+  done;
+  Array.iter
+    (fun (q, bit_tiles) ->
+      match vecs.(q) with
+      | Some v ->
+          if not (Bitvec.is_zero v) then
+            Bitvec.iter_set
+              (fun bit ->
+                let t = bit_tiles.(bit) in
+                s.active.(t) <- s.active.(t) + 1)
+              v
+      | None -> assert false)
+    e.bv_bit_tiles;
   (* all programmed CC columns are enabled in NFA mode *)
   Array.iteri (fun t cols -> s.enabled.(t) <- cols) e.static_cols;
   Array.iter
     (fun (q, bit) ->
       let fired =
-        if bit < 0 then out.(q)
+        if bit < 0 then Bitvec.get act q
         else match vecs.(q) with Some v -> Bitvec.get v bit | None -> false
       in
       if fired then s.cross <- s.cross + 1)
@@ -126,7 +140,9 @@ let nfa_step (e : nfa_engine) c =
 type nbva_engine = {
   nu : Program.nbva_unit;
   nb_st : Nbva.run_state;
-  bv_tile : int array;  (* exec state -> tile, -1 when not a BV *)
+  nb_tile_masks : Bitvec.t array;  (* per tile: its STEs as a mask over states *)
+  nb_bv_list : (int * int) array;  (* dense (BV state, tile) pairs *)
+  nb_cross_sources : int array;
   nb_static_cols : int array;
   nb_bv_cols : int array;
   nb_max_bv : int;
@@ -160,10 +176,21 @@ let make_nbva_engine (nu : Program.nbva_unit) =
         List.fold_left (fun acc (a : Program.bv_alloc) -> max acc a.Program.size) acc t.Program.bvs)
       0 nu.Program.ntiles
   in
+  let tile_masks = Array.init ntiles (fun _ -> Bitvec.create n) in
+  Array.iteri (fun q t -> Bitvec.set tile_masks.(t) q) nu.Program.tile_of_state;
+  let bv_list = ref [] in
+  Array.iteri
+    (fun q ste ->
+      match ste with
+      | Nbva.Bv _ -> bv_list := (q, bv_tile.(q)) :: !bv_list
+      | Nbva.Plain _ -> ())
+    nu.Program.nbva.Nbva.stes;
   {
     nu;
     nb_st = Nbva.start nu.Program.nbva;
-    bv_tile;
+    nb_tile_masks = tile_masks;
+    nb_bv_list = Array.of_list (List.rev !bv_list);
+    nb_cross_sources = Array.of_list (List.map fst nu.Program.cross_edges);
     nb_static_cols = static_cols;
     nb_bv_cols = bv_cols;
     nb_max_bv = max_bv;
@@ -174,26 +201,25 @@ let nbva_step (e : nbva_engine) c =
   let s = e.nb_stats in
   stats_reset s;
   let nbva = e.nu.Program.nbva in
-  ignore (Nbva.step nbva e.nb_st c);
-  let out = Nbva.outputs e.nb_st and vecs = Nbva.vectors e.nb_st in
-  Array.iteri
-    (fun q active ->
-      if active then begin
-        let t = e.nu.Program.tile_of_state.(q) in
-        s.active.(t) <- s.active.(t) + 1
-      end;
+  ignore (Nbva.step_selected nbva e.nb_st c);
+  let act = Nbva.outputs e.nb_st and vecs = Nbva.vectors e.nb_st in
+  for t = 0 to Array.length s.active - 1 do
+    s.active.(t) <- Bitvec.popcount_and act e.nb_tile_masks.(t)
+  done;
+  Array.iter
+    (fun (q, t) ->
       match vecs.(q) with
-      | Some v when not (Bitvec.is_zero v) -> s.triggered.(e.bv_tile.(q)) <- true
+      | Some v when not (Bitvec.is_zero v) -> s.triggered.(t) <- true
       | Some _ | None -> ())
-    out;
+    e.nb_bv_list;
   (* only CC columns are searched every symbol; BV columns activate in the
      processing phase *)
   Array.iteri
     (fun t (tile : Program.nbva_tile) -> s.enabled.(t) <- tile.Program.cc_cols)
     e.nu.Program.ntiles;
-  List.iter
-    (fun (p, _) -> if out.(p) then s.cross <- s.cross + 1)
-    e.nu.Program.cross_edges;
+  Array.iter
+    (fun p -> if Bitvec.get act p then s.cross <- s.cross + 1)
+    e.nb_cross_sources;
   s.reports <- Nbva.reports nbva e.nb_st
 
 (* ------------------------------------------------------------------ *)
@@ -204,6 +230,8 @@ type bin_engine = {
   sa : Shift_and.t;
   sa_st : Shift_and.state;
   bit_tile : int array;  (* packed bit -> bin tile *)
+  b_tile_masks : Bitvec.t array;  (* per tile: its packed bits *)
+  ring_mask : Bitvec.t;  (* bits whose shift crosses into the next tile *)
   initial_cols_t0 : int;  (* one initial column per member line *)
   b_static_cols : int array;
   b_stats : events;
@@ -225,11 +253,29 @@ let make_bin_engine (bin : Binning.bin) =
   let per_state = if bin.Binning.single_code then 1 else 2 in
   let static_cols = Array.make bin.Binning.tiles 0 in
   Array.iter (fun t -> static_cols.(t) <- static_cols.(t) + per_state) bit_tile;
+  let tile_masks = Array.init bin.Binning.tiles (fun _ -> Bitvec.create width) in
+  Array.iteri (fun bit t -> Bitvec.set tile_masks.(t) bit) bit_tile;
+  (* Ring mask: a set bit feeds a cross signal into the next tile only when
+     its successor position lives one tile over AND it is not the final
+     position of a member pattern — a pattern-final bit has no successor;
+     its shift leaks into the next member's initial position (re-armed by
+     maskInitial anyway) and must not be billed as ring-switch energy when
+     the member boundary coincides with a region boundary. *)
+  let ring_mask = Bitvec.create width in
+  let pattern_last = Array.make (max 1 width) false in
+  Array.iteri (fun j off -> if j > 0 then pattern_last.(off - 1) <- true) offsets;
+  if width > 0 then pattern_last.(width - 1) <- true;
+  for bit = 0 to width - 2 do
+    if bit_tile.(bit + 1) = bit_tile.(bit) + 1 && not pattern_last.(bit) then
+      Bitvec.set ring_mask bit
+  done;
   {
     bin;
     sa;
     sa_st = Shift_and.start sa;
     bit_tile;
+    b_tile_masks = tile_masks;
+    ring_mask;
     initial_cols_t0 = List.length bin.Binning.members;
     b_static_cols = static_cols;
     b_stats = stats_create bin.Binning.tiles;
@@ -240,11 +286,9 @@ let bin_step (e : bin_engine) c =
   stats_reset s;
   ignore (Shift_and.step e.sa e.sa_st c);
   let v = Shift_and.state_vector e.sa_st in
-  Bitvec.iter_set
-    (fun bit ->
-      let t = e.bit_tile.(bit) in
-      s.active.(t) <- s.active.(t) + 1)
-    v;
+  for t = 0 to Array.length s.active - 1 do
+    s.active.(t) <- Bitvec.popcount_and v e.b_tile_masks.(t)
+  done;
   let per_state = if e.bin.Binning.single_code then 1 else 2 in
   for t = 0 to e.bin.Binning.tiles - 1 do
     (* enabled columns: active states plus, in tile 0, the always-armed
@@ -256,13 +300,7 @@ let bin_step (e : bin_engine) c =
     s.powered.(t) <- t = 0 || s.active.(t) > 0
   done;
   (* ring signals: bits crossing a region boundary feed the next tile *)
-  Bitvec.iter_set
-    (fun bit ->
-      if
-        bit + 1 < Array.length e.bit_tile
-        && e.bit_tile.(bit + 1) = e.bit_tile.(bit) + 1
-      then s.cross <- s.cross + 1)
-    v;
+  s.cross <- Bitvec.popcount_and v e.ring_mask;
   s.reports <- Shift_and.final_hits e.sa e.sa_st
 
 (* ------------------------------------------------------------------ *)
@@ -325,8 +363,8 @@ let nbva_bits nbva st =
 let nbva_flip nbva st i =
   let n = Nbva.num_states nbva in
   if i < n then begin
-    let out = Nbva.outputs st in
-    out.(i) <- not out.(i)
+    let act = Nbva.outputs st in
+    if Bitvec.get act i then Bitvec.reset act i else Bitvec.set act i
   end
   else begin
     let rest = ref (i - n) in

@@ -96,6 +96,89 @@ let test_bool_array_roundtrip () =
   let v = Bitvec.of_bool_array bs in
   check bool "roundtrip" true (bs = Bitvec.to_bool_array v)
 
+(* SWAR popcount at the word-size boundaries: 61 (partial top word), 62
+   (exactly one full word), 63 (spills one bit into a second word), and
+   the two-word analogues.  fill_ones + normalize must keep dropped bits
+   out of the count. *)
+let test_popcount_width_boundaries () =
+  List.iter
+    (fun width ->
+      let v = Bitvec.create width in
+      Bitvec.fill_ones v;
+      check int (Printf.sprintf "all ones at width %d" width) width (Bitvec.popcount v);
+      Bitvec.shift_left1 v ~carry_in:false;
+      check int (Printf.sprintf "top bit dropped at width %d" width) (width - 1)
+        (Bitvec.popcount v);
+      (* sparse: only the extreme bits *)
+      let s = Bitvec.create width in
+      Bitvec.set s 0;
+      Bitvec.set s (width - 1);
+      check int (Printf.sprintf "extremes at width %d" width)
+        (if width = 1 then 1 else 2)
+        (Bitvec.popcount s))
+    [ 1; 61; 62; 63; 123; 124; 125 ]
+
+let test_popcount_matches_naive () =
+  (* alternating and byte-patterned fills, counted against to_bool_array *)
+  List.iter
+    (fun (width, keep) ->
+      let v = Bitvec.create width in
+      for i = 0 to width - 1 do
+        if keep i then Bitvec.set v i
+      done;
+      let naive =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (Bitvec.to_bool_array v)
+      in
+      check int (Printf.sprintf "width %d" width) naive (Bitvec.popcount v))
+    [
+      (61, fun i -> i mod 2 = 0);
+      (62, fun i -> i mod 3 = 0);
+      (63, fun i -> i mod 2 = 1);
+      (200, fun i -> i mod 7 < 3);
+      (62, fun _ -> true);
+    ]
+
+let test_popcount_and () =
+  let a = Bitvec.create 130 and b = Bitvec.create 130 in
+  List.iter (Bitvec.set a) [ 0; 5; 61; 62; 100; 129 ];
+  List.iter (Bitvec.set b) [ 5; 61; 99; 129 ];
+  check int "intersection count" 3 (Bitvec.popcount_and a b);
+  (* agrees with the allocating formulation *)
+  let scratch = Bitvec.copy a in
+  Bitvec.and_in scratch b;
+  check int "matches copy+and_in+popcount" (Bitvec.popcount scratch) (Bitvec.popcount_and a b);
+  check int "empty intersection" 0 (Bitvec.popcount_and a (Bitvec.create 130));
+  check_raises "width mismatch" (Invalid_argument "Bitvec: width mismatch") (fun () ->
+      ignore (Bitvec.popcount_and a (Bitvec.create 131)))
+
+let test_iter_set_word_edges () =
+  (* the ctz scan must visit word-boundary bits in order *)
+  let v = Bitvec.create 187 in
+  let expect = [ 0; 60; 61; 62; 123; 124; 186 ] in
+  List.iter (Bitvec.set v) expect;
+  let seen = ref [] in
+  Bitvec.iter_set (fun i -> seen := i :: !seen) v;
+  check (list int) "ascending word-edge visits" expect (List.rev !seen);
+  Bitvec.iter_set (fun _ -> fail "empty vector visited") (Bitvec.create 200)
+
+let prop_popcount_and_agrees =
+  QCheck2.Test.make ~name:"popcount_and = popcount of intersection" ~count:300
+    QCheck2.Gen.(triple (int_range 1 150) (int_bound max_int) (int_bound max_int))
+    (fun (width, seed_a, seed_b) ->
+      let fill seed =
+        let v = Bitvec.create width in
+        for i = 0 to width - 1 do
+          if (seed lsr (i mod 60)) land 1 = 1 && (i * 7919) mod 13 < 6 then Bitvec.set v i
+        done;
+        v
+      in
+      let a = fill seed_a and b = fill seed_b in
+      let scratch = Bitvec.copy a in
+      Bitvec.and_in scratch b;
+      Bitvec.popcount_and a b = Bitvec.popcount scratch
+      && Bitvec.popcount a
+         = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 (Bitvec.to_bool_array a))
+
 let prop_shift_left_equals_multiply =
   (* compare against an int reference for widths <= 30 *)
   QCheck2.Test.make ~name:"shift_left1 matches integer shift" ~count:300
@@ -122,5 +205,10 @@ let suite =
     test_case "bulk operations" `Quick test_bulk_ops;
     test_case "fill and iterate" `Quick test_fill_and_iter;
     test_case "bool array roundtrip" `Quick test_bool_array_roundtrip;
+    test_case "popcount width boundaries (61/62/63)" `Quick test_popcount_width_boundaries;
+    test_case "popcount matches naive count" `Quick test_popcount_matches_naive;
+    test_case "popcount_and" `Quick test_popcount_and;
+    test_case "iter_set at word edges" `Quick test_iter_set_word_edges;
+    QCheck_alcotest.to_alcotest prop_popcount_and_agrees;
     QCheck_alcotest.to_alcotest prop_shift_left_equals_multiply;
   ]

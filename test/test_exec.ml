@@ -169,6 +169,36 @@ let test_trace_sink_json_well_formed () =
   check bool "format from path" true (Sink.trace_format_of_path "x/y.JSON" = Sink.Json);
   check bool "csv otherwise" true (Sink.trace_format_of_path "t.csv" = Sink.Csv)
 
+(* The NBVA kernel swap must be invisible to the whole stack: reports,
+   energy and stall traces are bit-identical whether the engines step with
+   the bit-parallel kernel or the scalar reference kernel, at --jobs 1 and
+   --jobs 4.  Engines are built inside Runner.run, so flipping the selector
+   between runs really swaps the hot-path kernel. *)
+let test_kernel_swap_bit_identical () =
+  let p = mixed_placement () in
+  let input = mixed_input () in
+  let with_kernel k f =
+    Nbva.kernel := k;
+    Fun.protect ~finally:(fun () -> Nbva.kernel := Nbva.Bit_parallel) f
+  in
+  let run jobs () = Runner.run ~jobs rap ~params p ~input in
+  let ref1 = with_kernel Nbva.Reference (run 1) in
+  let ref4 = with_kernel Nbva.Reference (run 4) in
+  let new1 = with_kernel Nbva.Bit_parallel (run 1) in
+  let new4 = with_kernel Nbva.Bit_parallel (run 4) in
+  check bool "simulation does work" true (Energy.total_pj ref1.Runner.energy > 0.);
+  check_reports_equal "kernel swap, jobs=1" ref1 new1;
+  check_reports_equal "kernel swap, jobs=4" ref4 new4;
+  check_reports_equal "bit-parallel, jobs=1 vs 4" new1 new4;
+  (* and the per-symbol stall schedule is identical across the swap *)
+  let traces () = snd (Runner.run_with_stall_traces rap ~params p ~input) in
+  let tref = with_kernel Nbva.Reference traces in
+  let tnew = with_kernel Nbva.Bit_parallel traces in
+  check int "trace count" (Array.length tref) (Array.length tnew);
+  Array.iteri
+    (fun a trace -> check (array int) (Printf.sprintf "array %d stalls across swap" a) trace tnew.(a))
+    tref
+
 (* Satellite: state_bits counts exactly the flippable surface — every
    index below it flips (and flips back) without raising. *)
 let test_state_bits_flip_coverage () =
@@ -218,6 +248,7 @@ let suite =
       test_stall_trace_single_pass_matches_reference;
     test_case "trace sink CSV golden" `Quick test_trace_sink_csv_golden;
     test_case "trace sink JSON well-formed" `Quick test_trace_sink_json_well_formed;
+    test_case "NBVA kernel swap bit-identity (jobs 1 and 4)" `Quick test_kernel_swap_bit_identical;
     test_case "state_bits flip coverage" `Quick test_state_bits_flip_coverage;
     test_case "run_regexes surfaces compile errors" `Quick test_run_regexes_surfaces_errors;
   ]

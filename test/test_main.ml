@@ -8,6 +8,7 @@ let () =
       ("rewrite", Test_rewrite.suite);
       ("shift-and", Test_shift_and.suite);
       ("nbva", Test_nbva.suite);
+      ("nbva-diff", Test_nbva_diff.suite);
       ("hardware", Test_hardware.suite);
       ("compiler", Test_compiler.suite);
       ("mapper", Test_mapper.suite);

@@ -120,6 +120,48 @@ let test_bin_power_gating () =
     check bool "other tiles gated" false ev.Engine.powered.(t)
   done
 
+(* Regression: ring cross-signal accounting on a crafted two-member bin
+   whose member boundary coincides with a region boundary.  Member 0 is
+   exactly two regions long, so its pattern-final bit sits at the end of
+   a region right before member 1's initial position; an active bit there
+   has no successor and must contribute NO ring signal, while a genuine
+   region-straddling transition inside a member must count exactly once. *)
+let test_bin_ring_cross_accounting () =
+  let mk s =
+    { Program.labels = Array.init (String.length s) (fun i -> Charclass.singleton s.[i]);
+      single_code = true }
+  in
+  let bin =
+    {
+      Binning.members = [ (0, mk "abcdefgh"); (1, mk "ABCDEFGH") ];
+      slots = 2;
+      region_states = 4;
+      max_len = 8;
+      tiles = 2;
+      single_code = true;
+    }
+  in
+  let e = Engine.of_bin bin in
+  (* drive member 0's chain: after 'd' the only active bit is bit 3, whose
+     successor bit 4 lives one tile over — one genuine ring signal *)
+  let ev = List.fold_left (fun _ c -> Engine.step e c) (Engine.events e) [ 'a'; 'b'; 'c'; 'd' ] in
+  check int "region-straddling bit crosses once" 1 ev.Engine.cross;
+  check int "active in tile 0" 1 ev.Engine.active.(0);
+  (* after 'h' the only active bit is member 0's pattern-final bit 7: the
+     member boundary coincides with the region boundary, and the shift out
+     of the pattern must NOT be billed as a cross signal into member 1 *)
+  let ev = List.fold_left (fun _ c -> Engine.step e c) ev [ 'e'; 'f'; 'g'; 'h' ] in
+  check int "final bit active in tile 1" 1 ev.Engine.active.(1);
+  check int "reports the match" 1 ev.Engine.reports;
+  check int "pattern-final bit emits no ring signal" 0 ev.Engine.cross;
+  (* same chain on member 1 (packed second): its mid-chain region crossing
+     still counts, its final bit still does not *)
+  let ev = List.fold_left (fun _ c -> Engine.step e c) ev [ 'A'; 'B'; 'C'; 'D' ] in
+  check int "member 1 region-straddling bit crosses once" 1 ev.Engine.cross;
+  let ev = List.fold_left (fun _ c -> Engine.step e c) ev [ 'E'; 'F'; 'G'; 'H' ] in
+  check int "member 1 final bit emits no ring signal" 0 ev.Engine.cross;
+  check int "member 1 reports" 1 ev.Engine.reports
+
 let test_bv_trigger_and_stall () =
   (* a regex whose vector is constantly alive must stall the array *)
   let regexes = [ ("t", parse "t[a-z]{4,40}") ] in
@@ -206,6 +248,7 @@ let suite =
     test_case "NBVA engine vs reference" `Quick test_nbva_engine_consistency;
     test_case "bin engine vs reference" `Quick test_bin_engine_consistency;
     test_case "bin power gating" `Quick test_bin_power_gating;
+    test_case "bin ring cross accounting" `Quick test_bin_ring_cross_accounting;
     test_case "BV triggers stall the array" `Quick test_bv_trigger_and_stall;
     test_case "runner reports = reference matches" `Quick test_report_counts_match_reference;
     test_case "cross-architecture agreement" `Quick test_cross_arch_match_agreement;
