@@ -13,41 +13,17 @@
 
 open Cmdliner
 
-let read_stdin () =
-  let buf = Buffer.create 4096 in
-  (try
-     while true do
-       Buffer.add_channel buf stdin 4096
-     done
-   with End_of_file -> ());
-  Buffer.contents buf
+let fail_input msg =
+  Printf.eprintf "error: %s\n" msg;
+  exit 2
 
-let read_file path =
-  try
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with Sys_error msg | Invalid_argument msg ->
-    Printf.eprintf "error: cannot read input file %S: %s\n" path msg;
-    exit 2
+let catch_stream f = try f () with Sim_error.Error e -> fail_input (Sim_error.message e)
 
 (* a positional operand that was probably meant as a file path *)
 let looks_like_path s =
   s <> ""
   && (String.contains s '/' || s.[0] = '.' || s.[0] = '~'
      || List.exists (Filename.check_suffix s) [ ".txt"; ".log"; ".pcap"; ".dat"; ".bin" ])
-
-let read_input = function
-  | None -> None
-  | Some "-" -> Some (read_stdin ())
-  | Some path when Sys.file_exists path -> Some (read_file path)
-  | Some literal ->
-      if looks_like_path literal then
-        Printf.eprintf
-          "warning: no such file %S; treating it as literal input (use --file to force a path)\n"
-          literal;
-      Some literal
 
 let file_arg =
   Arg.(value
@@ -57,9 +33,27 @@ let file_arg =
                  a missing or unreadable file is an error).")
 
 (* [--file] wins over the positional operand; positional keeps the
-   path-if-it-exists-else-literal convenience, with a warning. *)
-let resolve_input ~file pos =
-  match file with Some path -> Some (read_file path) | None -> read_input pos
+   path-if-it-exists-else-literal convenience, with a warning.  All
+   sources arrive as chunked streams: files and stdin are consumed in
+   fixed-size buffers, never materialised. *)
+let stream_of_input ?chunk ~file pos =
+  match (file, pos) with
+  | Some path, _ -> Some (catch_stream (fun () -> Input_stream.of_file ?chunk path))
+  | None, Some "-" -> Some (Input_stream.of_stdin ?chunk ())
+  | None, Some path when Sys.file_exists path ->
+      Some (catch_stream (fun () -> Input_stream.of_file ?chunk path))
+  | None, Some literal ->
+      if looks_like_path literal then
+        Printf.eprintf
+          "warning: no such file %S; treating it as literal input (use --file to force a path)\n"
+          literal;
+      Some (Input_stream.of_string ?chunk literal)
+  | None, None -> None
+
+let required_stream ?chunk ~file pos =
+  match stream_of_input ?chunk ~file pos with
+  | Some s -> s
+  | None -> fail_input "no input (give INPUT, '-' for stdin, or --file PATH)"
 
 (* ---- rap match ---- *)
 
@@ -81,12 +75,26 @@ let match_cmd =
           | Rap.Nbva_engine -> "NBVA"
           | Rap.Shift_and_engine -> "Shift-And"
         in
-        match resolve_input ~file input with
+        match stream_of_input ~file input with
         | None ->
             Printf.printf "engine: %s\n" engine;
             0
-        | Some text ->
-            let ends = Rap.find_all m text in
+        | Some stream ->
+            (* streaming session: input is consumed chunk by chunk, so
+               matching a multi-GB file needs O(chunk) memory *)
+            let s = Rap.session m in
+            let ends = ref [] in
+            catch_stream (fun () ->
+                let rec loop () =
+                  match Input_stream.next stream with
+                  | None -> ()
+                  | Some chunk ->
+                      List.iter (fun p -> ends := p :: !ends) (Rap.session_feed s chunk);
+                      loop ()
+                in
+                loop ());
+            Input_stream.close stream;
+            let ends = List.rev_append !ends (Rap.session_finish s) in
             if count_only then Printf.printf "%d\n" (List.length ends)
             else begin
               Printf.printf "engine: %s, %d match(es)\n" engine (List.length ends);
@@ -151,11 +159,11 @@ let arch_of = function
   | `Bvap -> Arch.bvap
 
 let required_input ~file pos =
-  match resolve_input ~file pos with
-  | Some text -> text
-  | None ->
-      Printf.eprintf "error: no input (give INPUT, '-' for stdin, or --file PATH)\n";
-      exit 2
+  let stream = required_stream ~file pos in
+  catch_stream (fun () ->
+      let text = Input_stream.read_all stream in
+      Input_stream.close stream;
+      text)
 
 let print_report report =
   Format.printf "%a@." Runner.pp_report report;
@@ -201,11 +209,70 @@ let simulate_cmd =
              ~doc:"Dump the per-symbol metrics stream (active states, stalls, reports, energy \
                    by category) to $(docv); a .json suffix selects JSON, anything else CSV.")
   in
-  let run regexes input file arch jobs trace =
-    let input = required_input ~file input in
+  let ckpt_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"DIR"
+             ~doc:"Write crash-consistent run snapshots into $(docv); combined with \
+                   $(b,--resume), continue a killed run from its last snapshot with a \
+                   bit-identical final report.")
+  in
+  let ckpt_every =
+    Arg.(value & opt int Checkpoint.default_every
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Snapshot at the first chunk boundary after every $(docv) input symbols.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Restore the snapshot in the $(b,--checkpoint) directory (if any) and \
+                   continue from it.  The input must be seekable (a file or literal, not \
+                   stdin) and identical to the original run's.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit with status 3 when the run completes degraded (quarantined arrays).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Supervise the run: per-array wall-clock budget per chunk attempt; a \
+                   timed-out array is retried, then quarantined.")
+  in
+  let retries =
+    Arg.(value & opt (some int) None
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Supervise the run: retry a crashed or timed-out array $(docv) times \
+                   (with exponential backoff) before quarantining it.")
+  in
+  let chunk =
+    Arg.(value & opt int Input_stream.default_chunk
+         & info [ "chunk" ] ~docv:"BYTES"
+             ~doc:"Streaming chunk size; checkpoints land on chunk boundaries.")
+  in
+  let run regexes input file arch jobs trace ckpt_dir ckpt_every resume strict deadline retries
+      chunk =
+    if chunk <= 0 then fail_input "--chunk must be positive";
+    let stream = required_stream ~chunk ~file input in
     let jobs = resolve_jobs jobs in
     let arch = arch_of arch in
     let params = Program.default_params in
+    if ckpt_every <= 0 then fail_input "--checkpoint-every must be positive";
+    if resume && ckpt_dir = None then fail_input "--resume requires --checkpoint DIR";
+    let checkpoint =
+      Option.map (fun dir -> { Checkpoint.dir; every = ckpt_every }) ckpt_dir
+    in
+    let policy =
+      match (deadline, retries) with
+      | None, None -> None
+      | d, r ->
+          Some
+            {
+              Scheduler.default_policy with
+              Scheduler.deadline_s = d;
+              retries = Option.value r ~default:Scheduler.default_policy.Scheduler.retries;
+            }
+    in
     let parsed = parse_rules regexes in
     let units, errors = Runner.compile_for arch ~params parsed in
     List.iter (fun e -> Format.eprintf "dropped: %a@." Compile_error.pp e) errors;
@@ -216,6 +283,18 @@ let simulate_cmd =
     else begin
       let placement = Runner.place arch ~params units in
       let num_arrays = Array.length placement.Mapper.arrays in
+      (* resume note before the (possibly long) run, so an operator
+         watching stderr sees where the run picked up *)
+      (match checkpoint with
+      | Some { Checkpoint.dir; _ } when resume -> (
+          match Checkpoint.load ~dir with
+          | Ok (Some ck) ->
+              Printf.eprintf "resuming from %s at symbol %d (%d array(s) degraded)\n%!"
+                (Checkpoint.state_path ~dir) ck.Checkpoint.ck_symbols
+                (List.length ck.Checkpoint.ck_degraded)
+          | Ok None -> Printf.eprintf "no checkpoint in %s yet; starting fresh\n%!" dir
+          | Error e -> fail_input (Sim_error.message e))
+      | _ -> ());
       let trace_sink =
         Option.map
           (fun path ->
@@ -225,20 +304,34 @@ let simulate_cmd =
           trace
       in
       let sinks = match trace_sink with Some (_, spec, _) -> [ spec ] | None -> [] in
-      let report = Runner.run ~jobs ~sinks arch ~params placement ~input in
-      print_report report;
-      Option.iter
-        (fun (path, _, dump) ->
-          let oc = open_out path in
-          Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> dump oc);
-          Printf.printf "wrote trace to %s\n" path)
-        trace_sink;
-      0
+      match
+        Runner.run_stream ~jobs ~sinks ?policy ?checkpoint ~resume arch ~params placement
+          ~stream
+      with
+      | exception Sim_error.Error e ->
+          Printf.eprintf "error: %s\n" (Sim_error.message e);
+          2
+      | report ->
+          Input_stream.close stream;
+          print_report report;
+          Option.iter
+            (fun (path, _, dump) ->
+              let oc = open_out path in
+              Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> dump oc);
+              Printf.printf "wrote trace to %s\n" path)
+            trace_sink;
+          if report.Runner.degraded <> [] then begin
+            Printf.eprintf "degraded run: %d array(s) quarantined\n"
+              (List.length report.Runner.degraded);
+            if strict then 3 else 0
+          end
+          else 0
     end
   in
   let doc = "Run a rule set through the cycle-level hardware simulator." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ jobs_arg $ trace)
+    Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ jobs_arg $ trace
+          $ ckpt_dir $ ckpt_every $ resume $ strict $ deadline $ retries $ chunk)
 
 (* ---- rap faults ---- *)
 
@@ -272,7 +365,14 @@ let faults_cmd =
     Arg.(value & opt int Fault.default_config.Fault.chip_arrays
          & info [ "arrays" ] ~doc:"Physical arrays on the sampled chip.")
   in
-  let run regexes input file arch rates seed trials cell_rate tile_rate switch_rate spares arrays =
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit with status 3 when the campaign degrades: any rule dropped by \
+                   defect-aware mapping, or any trial missing or fabricating matches.")
+  in
+  let run regexes input file arch rates seed trials cell_rate tile_rate switch_rate spares arrays
+      strict =
     let input = required_input ~file input in
     let arch = arch_of arch in
     let params = Program.default_params in
@@ -310,7 +410,20 @@ let faults_cmd =
         | Ok o ->
             if i = 0 then print_report o.Fault.o_baseline;
             Format.printf "== fault campaign: rate=%g seed=%d trials=%d ==@.%a@." rate seed
-              trials Fault.pp_outcome o)
+              trials Fault.pp_outcome o;
+            if strict then begin
+              let dropped = o.Fault.o_drops <> [] || o.Fault.o_baseline_drops <> [] in
+              let faulty =
+                List.exists
+                  (fun t -> t.Fault.t_missed > 0 || t.Fault.t_false > 0)
+                  o.Fault.o_trials
+              in
+              if dropped || faulty then begin
+                Printf.eprintf "strict: campaign degraded (%s)\n"
+                  (if dropped then "rules dropped" else "matches missed or fabricated");
+                status := 3
+              end
+            end)
       rates;
     !status
   in
@@ -320,7 +433,7 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ rates $ seed $ trials
-          $ cell_rate $ tile_rate $ switch_rate $ spares $ arrays)
+          $ cell_rate $ tile_rate $ switch_rate $ spares $ arrays $ strict)
 
 (* ---- rap eval ---- *)
 

@@ -55,6 +55,17 @@ val shift_right1 : t -> carry_in:bool -> unit
 val iter_set : (int -> unit) -> t -> unit
 (** Visit set bits in increasing order. *)
 
+(** {1 Serialization} — the checkpoint wire form of a vector. *)
+
+val to_bytes : t -> bytes
+(** [ceil (width / 8)] bytes, bit [i] at byte [i/8], bit position [i mod 8]
+    (little-endian within the byte); independent of the internal word
+    layout. *)
+
+val load_bytes : t -> bytes -> unit
+(** Inverse of {!to_bytes} into an existing vector of the same width.
+    Raises [Invalid_argument] on a length mismatch. *)
+
 val of_bool_array : bool array -> t
 val to_bool_array : t -> bool array
 val pp : Format.formatter -> t -> unit

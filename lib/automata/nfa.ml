@@ -47,33 +47,56 @@ let line labels =
 
 type run = { match_ends : int list; active_per_step : int array }
 
-let run ?(anchored_start = false) t input =
+type stepper = {
+  st_active : bool array;
+  st_next : bool array;
+  st_anchored : bool;
+  mutable st_pos : int;
+  mutable st_count : int;
+}
+
+let stepper ?(anchored_start = false) t =
   let n = num_states t in
-  let active = Array.make n false and next = Array.make n false in
+  {
+    st_active = Array.make n false;
+    st_next = Array.make n false;
+    st_anchored = anchored_start;
+    st_pos = 0;
+    st_count = 0;
+  }
+
+let stepper_step t s c =
+  let n = num_states t in
+  Array.fill s.st_next 0 n false;
+  let count = ref 0 and hit = ref false in
+  for q = 0 to n - 1 do
+    if Charclass.mem t.labels.(q) c then begin
+      let avail =
+        (t.initial.(q) && ((not s.st_anchored) || s.st_pos = 0))
+        || Array.exists (fun j -> s.st_active.(j)) t.preds.(q)
+      in
+      if avail then begin
+        s.st_next.(q) <- true;
+        incr count;
+        if t.finals.(q) then hit := true
+      end
+    end
+  done;
+  Array.blit s.st_next 0 s.st_active 0 n;
+  s.st_pos <- s.st_pos + 1;
+  s.st_count <- !count;
+  !hit
+
+let stepper_active_count s = s.st_count
+
+let run ?anchored_start t input =
+  let s = stepper ?anchored_start t in
   let len = String.length input in
   let activity = Array.make len 0 in
   let matches = ref [] in
   for p = 0 to len - 1 do
-    let c = input.[p] in
-    Array.fill next 0 n false;
-    let count = ref 0 in
-    let hit = ref false in
-    for q = 0 to n - 1 do
-      if Charclass.mem t.labels.(q) c then begin
-        let avail =
-          (t.initial.(q) && ((not anchored_start) || p = 0))
-          || Array.exists (fun j -> active.(j)) t.preds.(q)
-        in
-        if avail then begin
-          next.(q) <- true;
-          incr count;
-          if t.finals.(q) then hit := true
-        end
-      end
-    done;
-    Array.blit next 0 active 0 n;
-    activity.(p) <- !count;
-    if !hit then matches := p :: !matches
+    if stepper_step t s input.[p] then matches := p :: !matches;
+    activity.(p) <- s.st_count
   done;
   { match_ends = List.rev !matches; active_per_step = activity }
 

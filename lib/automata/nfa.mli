@@ -48,6 +48,20 @@ val run : ?anchored_start:bool -> t -> string -> run
     AP-style hardware always runs unanchored; anchoring is a software
     front-end concern (the parser reports [^] via {!Parser.parsed}). *)
 
+type stepper
+(** Incremental execution state — what {!run} folds over internally.
+    Lets a caller feed the input symbol by symbol (streaming match
+    sessions) with identical results to a whole-string {!run}. *)
+
+val stepper : ?anchored_start:bool -> t -> stepper
+(** Fresh state positioned before the first symbol. *)
+
+val stepper_step : t -> stepper -> char -> bool
+(** Consume one symbol; [true] when a match ends on it. *)
+
+val stepper_active_count : stepper -> int
+(** Active states after the last {!stepper_step}. *)
+
 val match_ends : ?anchored_start:bool -> t -> string -> int list
 val count_matches : ?anchored_start:bool -> t -> string -> int
 val matches : ?anchored_start:bool -> t -> string -> bool

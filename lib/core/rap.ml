@@ -61,6 +61,60 @@ let find_all m input =
 let count_matches m input = List.length (find_all m input)
 let is_match m input = find_all m input <> []
 
+(* ------------------------------------------------------------------ *)
+(* Streaming sessions: the same engines driven one symbol at a time, so
+   a caller can feed chunked input (files, sockets) without ever
+   materialising it.  Feeding chunks [c1; ...; cn] yields exactly
+   [find_all m (c1 ^ ... ^ cn)] across feeds + finish. *)
+
+type session_state =
+  | S_nfa of Nfa.stepper
+  | S_nbva of Nbva.run_state
+  | S_sa of Shift_and.state list
+
+type session = {
+  s_matcher : matcher;
+  s_state : session_state;
+  mutable s_pos : int;  (* absolute offset of the next byte *)
+  mutable s_last_hit : bool;  (* a match ended on the last byte fed *)
+}
+
+let session m =
+  let s_state =
+    match m.engine with
+    | M_nfa nfa -> S_nfa (Nfa.stepper ~anchored_start:m.anchored_start nfa)
+    | M_nbva nb -> S_nbva (Nbva.start nb)
+    | M_sa engines -> S_sa (List.map Shift_and.start engines)
+  in
+  { s_matcher = m; s_state; s_pos = 0; s_last_hit = false }
+
+let session_feed s chunk =
+  let m = s.s_matcher in
+  let acc = ref [] in
+  String.iter
+    (fun c ->
+      let hit =
+        match (s.s_state, m.engine) with
+        | S_nfa st, M_nfa nfa -> Nfa.stepper_step nfa st c
+        | S_nbva st, M_nbva nb -> Nbva.step_selected nb st c
+        | S_sa sts, M_sa engines ->
+            List.fold_left2
+              (fun acc sa st -> if Shift_and.step sa st c then true else acc)
+              false engines sts
+        | _ -> assert false
+      in
+      s.s_last_hit <- hit;
+      if hit then acc := s.s_pos :: !acc;
+      s.s_pos <- s.s_pos + 1)
+    chunk;
+  (* end-anchored matches are only knowable at end of stream *)
+  if m.anchored_end then [] else List.rev !acc
+
+let session_finish s =
+  if s.s_matcher.anchored_end && s.s_last_hit && s.s_pos > 0 then [ s.s_pos - 1 ] else []
+
+let session_pos s = s.s_pos
+
 let rap_arch ?(bv_depth = default_params.Program.bv_depth) () = Arch.rap ~bv_depth
 
 let simulate ?arch ?jobs ?(params = default_params) ~regexes ~input () =

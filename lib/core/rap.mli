@@ -59,6 +59,30 @@ val find_all : matcher -> string -> int list
 val count_matches : matcher -> string -> int
 val is_match : matcher -> string -> bool
 
+(** {1 Streaming matching}
+
+    A session drives the same engine one symbol at a time, so chunked
+    input (a file read in 64 KiB blocks, a socket) matches without ever
+    being materialised.  Feeding chunks [c1; ...; cn] and then finishing
+    yields exactly [find_all m (c1 ^ ... ^ cn)]. *)
+
+type session
+
+val session : matcher -> session
+
+val session_feed : session -> string -> int list
+(** Match end positions inside this chunk, as {e absolute} input
+    offsets, ascending.  End-anchored matchers always return [[]] here:
+    whether a match ends at the last position is only knowable at
+    {!session_finish}. *)
+
+val session_finish : session -> int list
+(** Matches deferred to end of stream (the final-position match of an
+    end-anchored pattern); [[]] otherwise. *)
+
+val session_pos : session -> int
+(** Bytes consumed so far. *)
+
 (** {1 Hardware simulation} *)
 
 val simulate :

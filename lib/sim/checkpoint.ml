@@ -1,0 +1,305 @@
+(* See checkpoint.mli.
+
+   On-disk layout (all integers little-endian):
+
+     "RAPCKPT"  7-byte magic
+     version    1 byte (currently 1)
+     crc32      4 bytes, over the payload only
+     length     8 bytes, payload byte count
+     payload    length bytes
+
+   Payload: fingerprint (string), symbols (i64), degraded list, then per
+   array: cycles/reports (i64), energy by category (f64s), mode energy
+   (f64s), and each engine snapshot as width-prefixed bit-vector bytes
+   (see Bitvec.to_bytes).  Strings and arrays are length-prefixed. *)
+
+let magic = "RAPCKPT"
+let version = 1
+
+type array_state = {
+  cs_cycles : int;
+  cs_reports : int;
+  cs_energy_pj : float array;
+  cs_mode_pj : float array;
+  cs_engines : Engine.snapshot array;
+}
+
+type t = {
+  ck_fingerprint : string;
+  ck_symbols : int;
+  ck_degraded : Sim_error.t list;
+  ck_arrays : array_state array;
+}
+
+type config = { dir : string; every : int }
+
+let default_every = 1 lsl 20
+let state_path ~dir = Filename.concat dir "state.ckpt"
+let journal_path ~dir = Filename.concat dir "journal.log"
+
+(* ---- CRC-32 (reflected, poly 0xEDB88320 — the zlib/POSIX cksum one) ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+(* ---- primitive writers ---- *)
+
+let w_u8 b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+let w_u32 b n =
+  if n < 0 then invalid_arg "Checkpoint: negative u32";
+  for i = 0 to 3 do
+    w_u8 b ((n lsr (8 * i)) land 0xFF)
+  done
+
+let w_i64 b n =
+  let n = Int64.of_int n in
+  for i = 0 to 7 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical n (8 * i)) land 0xFF)
+  done
+
+let w_f64 b f =
+  let n = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical n (8 * i)) land 0xFF)
+  done
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_floats b fs =
+  w_u32 b (Array.length fs);
+  Array.iter (w_f64 b) fs
+
+let w_bitvec b v =
+  w_u32 b (Bitvec.width v);
+  Buffer.add_string b (Bytes.unsafe_to_string (Bitvec.to_bytes v))
+
+(* ---- primitive readers over (string, cursor) ---- *)
+
+exception Corrupt of string
+
+type cursor = { data : string; mutable at : int }
+
+let need cur n =
+  if cur.at + n > String.length cur.data then raise (Corrupt "truncated payload")
+
+let r_u8 cur =
+  need cur 1;
+  let v = Char.code cur.data.[cur.at] in
+  cur.at <- cur.at + 1;
+  v
+
+let r_u32 cur =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := !v lor (r_u8 cur lsl (8 * i))
+  done;
+  !v
+
+let r_i64 cur =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (r_u8 cur)) (8 * i))
+  done;
+  Int64.to_int !v
+
+let r_f64 cur =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (r_u8 cur)) (8 * i))
+  done;
+  Int64.float_of_bits !v
+
+let r_str cur =
+  let n = r_u32 cur in
+  need cur n;
+  let s = String.sub cur.data cur.at n in
+  cur.at <- cur.at + n;
+  s
+
+let r_floats cur =
+  let n = r_u32 cur in
+  Array.init n (fun _ -> r_f64 cur)
+
+let r_bitvec cur =
+  let width = r_u32 cur in
+  let nbytes = (width + 7) / 8 in
+  need cur nbytes;
+  let v = Bitvec.create width in
+  Bitvec.load_bytes v (Bytes.unsafe_of_string (String.sub cur.data cur.at nbytes));
+  cur.at <- cur.at + nbytes;
+  v
+
+(* ---- degraded-error codec: only per-array failures reach a checkpoint;
+   anything else degenerates to the crashed form so old readers cope ---- *)
+
+let w_error b (e : Sim_error.t) =
+  match e with
+  | Sim_error.Array_timeout { array_id; attempts; deadline_s } ->
+      w_u8 b 1;
+      w_u32 b array_id;
+      w_u32 b attempts;
+      w_f64 b deadline_s
+  | Sim_error.Array_crashed { array_id; attempts; detail } ->
+      w_u8 b 0;
+      w_u32 b array_id;
+      w_u32 b attempts;
+      w_str b detail
+  | other ->
+      w_u8 b 0;
+      w_u32 b (Option.value (Sim_error.array_id other) ~default:0);
+      w_u32 b 1;
+      w_str b (Sim_error.message other)
+
+let r_error cur : Sim_error.t =
+  match r_u8 cur with
+  | 1 ->
+      let array_id = r_u32 cur in
+      let attempts = r_u32 cur in
+      let deadline_s = r_f64 cur in
+      Sim_error.Array_timeout { array_id; attempts; deadline_s }
+  | 0 ->
+      let array_id = r_u32 cur in
+      let attempts = r_u32 cur in
+      let detail = r_str cur in
+      Sim_error.Array_crashed { array_id; attempts; detail }
+  | tag -> raise (Corrupt (Printf.sprintf "unknown error tag %d" tag))
+
+(* ---- whole-checkpoint codec ---- *)
+
+let encode ck =
+  let b = Buffer.create 4096 in
+  w_str b ck.ck_fingerprint;
+  w_i64 b ck.ck_symbols;
+  w_u32 b (List.length ck.ck_degraded);
+  List.iter (w_error b) ck.ck_degraded;
+  w_u32 b (Array.length ck.ck_arrays);
+  Array.iter
+    (fun a ->
+      w_i64 b a.cs_cycles;
+      w_i64 b a.cs_reports;
+      w_floats b a.cs_energy_pj;
+      w_floats b a.cs_mode_pj;
+      w_u32 b (Array.length a.cs_engines);
+      Array.iter
+        (fun (snap : Engine.snapshot) ->
+          w_u32 b (Array.length snap);
+          Array.iter (w_bitvec b) snap)
+        a.cs_engines)
+    ck.ck_arrays;
+  Buffer.contents b
+
+let decode payload =
+  let cur = { data = payload; at = 0 } in
+  let ck_fingerprint = r_str cur in
+  let ck_symbols = r_i64 cur in
+  let n_deg = r_u32 cur in
+  let ck_degraded = List.init n_deg (fun _ -> r_error cur) in
+  let n_arrays = r_u32 cur in
+  let ck_arrays =
+    Array.init n_arrays (fun _ ->
+        let cs_cycles = r_i64 cur in
+        let cs_reports = r_i64 cur in
+        let cs_energy_pj = r_floats cur in
+        let cs_mode_pj = r_floats cur in
+        let n_engines = r_u32 cur in
+        let cs_engines =
+          Array.init n_engines (fun _ ->
+              let n_vecs = r_u32 cur in
+              Array.init n_vecs (fun _ -> r_bitvec cur))
+        in
+        { cs_cycles; cs_reports; cs_energy_pj; cs_mode_pj; cs_engines })
+  in
+  if cur.at <> String.length payload then raise (Corrupt "trailing bytes");
+  { ck_fingerprint; ck_symbols; ck_degraded; ck_arrays }
+
+(* ---- filesystem ---- *)
+
+let fs_fail detail = raise (Sim_error.Error (Sim_error.Stream_failed { detail }))
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755
+    with Sys_error msg -> fs_fail (Printf.sprintf "cannot create checkpoint dir %S: %s" dir msg)
+
+let save ~dir ck =
+  ensure_dir dir;
+  let payload = encode ck in
+  let header = Buffer.create 20 in
+  Buffer.add_string header magic;
+  w_u8 header version;
+  w_u32 header (crc32 payload);
+  w_i64 header (String.length payload);
+  let path = state_path ~dir in
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc (Buffer.contents header);
+         output_string oc payload)
+   with Sys_error msg -> fs_fail (Printf.sprintf "cannot write checkpoint %S: %s" tmp msg));
+  (* the rename is the commit point: readers only ever see the previous
+     complete checkpoint or this one, never a torn write *)
+  try Sys.rename tmp path
+  with Sys_error msg -> fs_fail (Printf.sprintf "cannot commit checkpoint %S: %s" path msg)
+
+let load ~dir =
+  let path = state_path ~dir in
+  if not (Sys.file_exists path) then Ok None
+  else begin
+    let corrupt detail = Error (Sim_error.Checkpoint_corrupt { path; detail }) in
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> corrupt ("unreadable: " ^ msg)
+    | raw ->
+        let header_len = String.length magic + 1 + 4 + 8 in
+        if String.length raw < header_len then corrupt "shorter than the header"
+        else if String.sub raw 0 (String.length magic) <> magic then corrupt "bad magic"
+        else begin
+          let cur = { data = raw; at = String.length magic } in
+          match
+            let v = r_u8 cur in
+            if v <> version then raise (Corrupt (Printf.sprintf "unsupported version %d" v));
+            let crc = r_u32 cur in
+            let len = r_i64 cur in
+            if len < 0 || cur.at + len <> String.length raw then
+              raise (Corrupt "payload length mismatch");
+            let payload = String.sub raw cur.at len in
+            if crc32 payload <> crc then raise (Corrupt "CRC mismatch");
+            decode payload
+          with
+          | ck -> Ok (Some ck)
+          | exception Corrupt detail -> corrupt detail
+        end
+  end
+
+let journal ~dir line =
+  try
+    ensure_dir dir;
+    let oc =
+      open_out_gen [ Open_append; Open_creat ] 0o644 (journal_path ~dir)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Printf.fprintf oc "%.3f %s\n" (Unix.gettimeofday ()) line)
+  with Sys_error _ | Sim_error.Error _ -> ()

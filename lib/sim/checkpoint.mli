@@ -1,0 +1,57 @@
+(** Crash-consistent run snapshots.
+
+    A checkpoint captures, at a chunk barrier where every array has
+    processed exactly [symbols] input bytes, the whole restorable run
+    state: per-array cycle/report accumulators, the energy ledger and
+    per-mode energy slots, and every engine's {!Engine.snapshot}.
+    Restoring it into a freshly built placement and continuing from
+    [symbols] reproduces the uninterrupted run bit for bit.
+
+    Crash consistency on disk: the state file is written to a temp name
+    and [rename]d into place, so a crash mid-write leaves the previous
+    checkpoint intact; the payload carries a versioned magic header and
+    a CRC-32, so torn or bit-rotted files are detected at load instead
+    of silently resuming from garbage.  A human-readable append-only
+    journal records every checkpoint and resume event. *)
+
+type array_state = {
+  cs_cycles : int;
+  cs_reports : int;
+  cs_energy_pj : float array;  (** Per {!Energy.all_categories}, in order. *)
+  cs_mode_pj : float array;  (** Per {!Cost} mode index. *)
+  cs_engines : Engine.snapshot array;
+}
+
+type t = {
+  ck_fingerprint : string;
+      (** Placement digest ({!Runner.fingerprint}); a checkpoint only
+          restores into the identical placement. *)
+  ck_symbols : int;  (** Input bytes fully processed by every array. *)
+  ck_degraded : Sim_error.t list;
+      (** Arrays quarantined before the snapshot — degradation survives
+          a resume. *)
+  ck_arrays : array_state array;
+}
+
+type config = {
+  dir : string;  (** Checkpoint directory (created on first save). *)
+  every : int;  (** Snapshot at the first chunk barrier after this many symbols. *)
+}
+
+val default_every : int
+(** 1 Mi symbols. *)
+
+val state_path : dir:string -> string
+val journal_path : dir:string -> string
+
+val save : dir:string -> t -> unit
+(** Write-temp + rename; creates [dir] when missing.  Raises
+    [Sim_error.Error (Stream_failed _)] on filesystem errors. *)
+
+val load : dir:string -> (t option, Sim_error.t) result
+(** [Ok None] when no checkpoint exists yet; [Error (Checkpoint_corrupt _)]
+    on bad magic, truncation, version or CRC mismatch. *)
+
+val journal : dir:string -> string -> unit
+(** Append one timestamped line to the run journal (best-effort: journal
+    failures never abort a run). *)

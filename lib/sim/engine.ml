@@ -389,6 +389,61 @@ let state_bits = function
   | E_nbva e -> nbva_bits e.nu.Program.nbva e.nb_st
   | E_bin e -> Bitvec.width (Shift_and.state_vector e.sa_st)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore: exactly the inter-symbol surface above, as copies.
+   Everything else an engine holds is either immutable (automata, masks,
+   tile maps) or scratch fully overwritten by the next [step] ([next],
+   [avail], the per-step stats record), so capturing the active vector
+   plus the materialized BV words makes [restore] resume bit-identically
+   — including under both NBVA kernels, which share the same stored
+   state. *)
+
+type snapshot = Bitvec.t array
+
+let restore_mismatch () = invalid_arg "Engine.restore: snapshot does not match this engine"
+
+let nbva_snapshot st =
+  let acc = ref [ Bitvec.copy (Nbva.outputs st) ] in
+  Array.iter
+    (function Some v -> acc := Bitvec.copy v :: !acc | None -> ())
+    (Nbva.vectors st);
+  Array.of_list (List.rev !acc)
+
+let nbva_restore st snap =
+  let vecs = Nbva.vectors st in
+  let materialized =
+    Array.fold_left (fun acc v -> match v with Some _ -> acc + 1 | None -> acc) 0 vecs
+  in
+  if Array.length snap <> 1 + materialized then restore_mismatch ();
+  let blit src dst =
+    if Bitvec.width src <> Bitvec.width dst then restore_mismatch ();
+    Bitvec.blit ~src ~dst
+  in
+  blit snap.(0) (Nbva.outputs st);
+  let k = ref 1 in
+  Array.iter
+    (function
+      | Some v ->
+          blit snap.(!k) v;
+          incr k
+      | None -> ())
+    vecs
+
+let snapshot = function
+  | E_nfa e -> nbva_snapshot e.exec_st
+  | E_nbva e -> nbva_snapshot e.nb_st
+  | E_bin e -> [| Bitvec.copy (Shift_and.state_vector e.sa_st) |]
+
+let restore t snap =
+  match t with
+  | E_nfa e -> nbva_restore e.exec_st snap
+  | E_nbva e -> nbva_restore e.nb_st snap
+  | E_bin e ->
+      if Array.length snap <> 1 then restore_mismatch ();
+      let v = Shift_and.state_vector e.sa_st in
+      if Bitvec.width snap.(0) <> Bitvec.width v then restore_mismatch ();
+      Bitvec.blit ~src:snap.(0) ~dst:v
+
 let flip_state_bit t i =
   if i < 0 || i >= state_bits t then invalid_arg "Engine.flip_state_bit: index out of range";
   match t with

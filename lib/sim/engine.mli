@@ -88,3 +88,24 @@ val state_bits : t -> int
 val flip_state_bit : t -> int -> unit
 (** Flip one stored state bit (0-based); the corruption propagates from
     the next {!step} on.  Raises [Invalid_argument] out of range. *)
+
+(** {1 Snapshot / restore}
+
+    The checkpoint surface is the same inter-symbol surface as the fault
+    surface, captured as whole vectors: a snapshot is the active vector
+    followed by every materialized BV word in state order (NFA/NBVA
+    engines), or the packed Shift-And state vector (LNFA bins).  All
+    other engine state is immutable or per-step scratch, so
+    [restore (snapshot e)] into an engine built from the same placement
+    resumes bit-identically — reports, energy events, and stall
+    schedules included. *)
+
+type snapshot = Bitvec.t array
+(** Copies, in the order above; serializable via {!Bitvec.to_bytes}. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Raises [Invalid_argument] when the snapshot's shape (vector count or
+    any width) does not match the engine — the caller is trying to
+    restore into a different placement. *)

@@ -61,6 +61,13 @@ let engines t = t.engines
 let tile_modes t = t.tile_modes
 let num_tiles t = Array.length t.tile_pieces
 
+let snapshot t = Array.map Engine.snapshot t.engines
+
+let restore t snaps =
+  if Array.length snaps <> Array.length t.engines then
+    invalid_arg "Exec.restore: snapshot does not match this array";
+  Array.iteri (fun i s -> Engine.restore t.engines.(i) s) snaps
+
 type tile_events = {
   t_mode : Engine.mode;
   t_powered : bool;

@@ -20,6 +20,14 @@ val engines : t -> Engine.t array
 val tile_modes : t -> Engine.mode array
 val num_tiles : t -> int
 
+val snapshot : t -> Engine.snapshot array
+(** Per-engine state copies, in engine order — the whole mutable surface
+    of the array between symbols (see {!Engine.snapshot}). *)
+
+val restore : t -> Engine.snapshot array -> unit
+(** Restore into an exec context built from the same placement and tile
+    set; raises [Invalid_argument] on any shape mismatch. *)
+
 (** {1 Per-symbol events} *)
 
 type tile_events = {

@@ -1,0 +1,110 @@
+(* See input_stream.mli. *)
+
+let default_chunk = 64 * 1024
+
+type source =
+  | Src_string of string
+  | Src_channel of { ic : in_channel; seekable : bool }
+
+type t = {
+  chunk : int;
+  source : source;
+  buf : bytes;  (* reused read buffer for channel sources *)
+  len : int option;
+  mutable position : int;
+  mutable closed : bool;
+}
+
+let fail detail = raise (Sim_error.Error (Sim_error.Stream_failed { detail }))
+
+let make ?(chunk = default_chunk) source len =
+  if chunk <= 0 then invalid_arg "Input_stream: chunk size must be positive";
+  let buf = match source with Src_string _ -> Bytes.empty | Src_channel _ -> Bytes.create chunk in
+  { chunk; source; buf; len; position = 0; closed = false }
+
+let of_string ?chunk s = make ?chunk (Src_string s) (Some (String.length s))
+
+let of_file ?chunk path =
+  match open_in_bin path with
+  | ic -> make ?chunk (Src_channel { ic; seekable = true }) (Some (in_channel_length ic))
+  | exception Sys_error msg -> fail (Printf.sprintf "cannot open %S: %s" path msg)
+
+let of_stdin ?chunk () = make ?chunk (Src_channel { ic = stdin; seekable = false }) None
+let length t = t.len
+let pos t = t.position
+let chunk_size t = t.chunk
+
+let next t =
+  if t.closed then None
+  else
+    match t.source with
+    | Src_string s ->
+        let remaining = String.length s - t.position in
+        if remaining <= 0 then None
+        else begin
+          let n = min t.chunk remaining in
+          let c =
+            if t.position = 0 && n = String.length s then s else String.sub s t.position n
+          in
+          t.position <- t.position + n;
+          Some c
+        end
+    | Src_channel { ic; _ } -> (
+        (* fill the buffer from possibly-short reads (pipes deliver less
+           than requested) so chunk boundaries stay deterministic for a
+           given chunk size regardless of the transport *)
+        let filled = ref 0 in
+        (try
+           let rec fill () =
+             if !filled < t.chunk then begin
+               let n = input ic t.buf !filled (t.chunk - !filled) in
+               if n > 0 then begin
+                 filled := !filled + n;
+                 fill ()
+               end
+             end
+           in
+           fill ()
+         with
+        | End_of_file -> ()
+        | Sys_error msg -> fail ("read error: " ^ msg));
+        if !filled = 0 then None
+        else begin
+          t.position <- t.position + !filled;
+          Some (Bytes.sub_string t.buf 0 !filled)
+        end)
+
+let seek t off =
+  if off < 0 then fail (Printf.sprintf "cannot seek to negative offset %d" off);
+  match t.source with
+  | Src_string s ->
+      if off > String.length s then
+        fail (Printf.sprintf "seek offset %d beyond input of %d bytes" off (String.length s));
+      t.position <- off
+  | Src_channel { ic; seekable } ->
+      if not seekable then fail "input is not seekable (stdin); resume needs --file or a literal";
+      (match t.len with
+      | Some l when off > l -> fail (Printf.sprintf "seek offset %d beyond input of %d bytes" off l)
+      | _ -> ());
+      (try seek_in ic off with Sys_error msg -> fail ("seek error: " ^ msg));
+      t.position <- off
+
+let read_all t =
+  let b = Buffer.create (match t.len with Some l -> max 16 (l - t.position) | None -> 4096) in
+  let rec drain () =
+    match next t with
+    | Some c ->
+        Buffer.add_string b c;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Buffer.contents b
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.source with
+    | Src_string _ -> ()
+    | Src_channel { ic; _ } -> if ic != stdin then close_in_noerr ic
+  end

@@ -17,6 +17,7 @@ type report = {
   mode_area_um2 : (Engine.mode * float) list;
   mode_states : (Engine.mode * int) list;
   mapper_stats : Mapper.stats;
+  degraded : Sim_error.t list;
 }
 
 let energy_efficiency_gchs_per_w r =
@@ -81,6 +82,43 @@ let place_result ?defects (arch : Arch.t) ~params compiled =
   let tile_cols = arch.Arch.tile_stes in
   Mapper.map_units_result ?defects ~tile_cols ~params (Array.of_list compiled)
 
+(* A checkpoint must refuse to restore into a different placement: the
+   engine-state vectors would silently mean different automata.  The
+   fingerprint digests everything the run state depends on — the unit
+   sources, their compiled sizes, and the exact tile floorplan. *)
+let fingerprint (p : Mapper.placement) =
+  let b = Buffer.create 1024 in
+  Array.iter
+    (fun (c : Program.compiled) ->
+      Buffer.add_string b c.Program.source;
+      Buffer.add_char b '\000';
+      Buffer.add_string b (string_of_int (Program.num_states c.Program.kind));
+      Buffer.add_char b '\001')
+    p.Mapper.units;
+  Array.iteri
+    (fun ai tiles ->
+      Buffer.add_string b (Printf.sprintf "A%d:" ai);
+      Array.iter
+        (fun (t : Mapper.placed_tile) ->
+          Buffer.add_char b
+            (match t.Mapper.mode with
+            | Mapper.T_nfa -> 'n'
+            | Mapper.T_nbva -> 'b'
+            | Mapper.T_lnfa -> 'l');
+          Buffer.add_string b (string_of_int t.Mapper.phys);
+          List.iter
+            (fun (pc : Mapper.piece) ->
+              match pc with
+              | Mapper.P_unit { unit_id; local_tile } ->
+                  Buffer.add_string b (Printf.sprintf "u%d.%d" unit_id local_tile)
+              | Mapper.P_bin { bin_id; bin_tile } ->
+                  Buffer.add_string b (Printf.sprintf "g%d.%d" bin_id bin_tile))
+            t.Mapper.pieces;
+          Buffer.add_char b ';')
+        tiles)
+    p.Mapper.arrays;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* The energy/timing accounting as a sink over the event stream.  State
    lives in per-array slots merged in array order after the run, so the
    totals are bit-identical under every schedule. *)
@@ -103,43 +141,210 @@ let energy_sink arch ~num_arrays =
   in
   (spec, ledgers, mode_slots)
 
-let run ?(jobs = 1) ?(sinks = []) (arch : Arch.t) ~params (p : Mapper.placement) ~input =
+(* Energy ledgers have no setter by design; a rollback reproduces stored
+   values exactly because restoring [v] into a zeroed slot computes
+   [0. +. v = v] and every later accumulation then replays the same
+   float-addition sequence as an uninterrupted run. *)
+let ledger_values l = Array.of_list (List.map (Energy.get_pj l) Energy.all_categories)
+
+let ledger_restore l vals =
+  Energy.reset l;
+  List.iteri (fun i c -> Energy.add l c vals.(i)) Energy.all_categories
+
+type rollback = {
+  rb_engines : Engine.snapshot array;
+  rb_energy : float array;
+  rb_mode : float array;
+}
+
+(* How often a worker polls its cooperative deadline, in symbols.  Must
+   be a power of two (tested with [land]). *)
+let deadline_stride = 256
+
+let mismatch detail = raise (Sim_error.Error (Sim_error.Checkpoint_mismatch { detail }))
+
+let run_stream ?(jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false) (arch : Arch.t)
+    ~params (p : Mapper.placement) ~stream =
   ignore params;
-  let chars = String.length input in
   let num_arrays = Array.length p.Mapper.arrays in
+  let chars_hint = match Input_stream.length stream with Some n -> n | None -> 0 in
   let energy_spec, ledgers, mode_slots = energy_sink arch ~num_arrays in
   let specs = energy_spec :: sinks in
-  let details = Array.make num_arrays { a_cycles = 0; a_tiles = 0; a_has_nbva = false } in
+  (* all per-array state is built up front and lives across chunks; sink
+     [make] runs in array order here, never inside a worker domain *)
+  let execs = Array.map (fun tiles -> Exec.build p tiles) p.Mapper.arrays in
+  let insts =
+    Array.init num_arrays (fun array_id ->
+        List.map (fun (s : Sink.spec) -> s.Sink.make ~array_id ~chars:chars_hint) specs)
+  in
+  let state_insts =
+    Array.map (fun il -> List.filter_map (fun (i : Sink.t) -> i.Sink.on_state) il) insts
+  in
+  let cycles_slots = Array.make num_arrays 0 in
   let reports_slots = Array.make num_arrays 0 in
-  let simulate_array array_id =
-    let tiles = p.Mapper.arrays.(array_id) in
-    let ex = Exec.build p tiles in
-    let insts = List.map (fun (s : Sink.spec) -> s.Sink.make ~array_id ~chars) specs in
-    let state_insts =
-      List.filter_map (fun (i : Sink.t) -> i.Sink.on_state) insts
-    in
-    let cycles = ref 0 and reports = ref 0 in
+  let quarantined : Sim_error.t option array = Array.make num_arrays None in
+  let degraded = ref [] (* newest first; reversed wherever exposed *) in
+  let fp = fingerprint p in
+  (match checkpoint with
+  | Some { Checkpoint.dir; _ } when resume -> (
+      match Checkpoint.load ~dir with
+      | Error e -> raise (Sim_error.Error e)
+      | Ok None -> () (* nothing saved yet: plain fresh run *)
+      | Ok (Some ck) ->
+          if ck.Checkpoint.ck_fingerprint <> fp then
+            mismatch "checkpoint was taken from a different regex set or placement";
+          if Array.length ck.Checkpoint.ck_arrays <> num_arrays then
+            mismatch "checkpoint array count differs from this placement";
+          Array.iteri
+            (fun i (a : Checkpoint.array_state) ->
+              (try Exec.restore execs.(i) a.Checkpoint.cs_engines
+               with Invalid_argument msg -> mismatch msg);
+              if Array.length a.Checkpoint.cs_energy_pj <> List.length Energy.all_categories
+              then mismatch "energy category count differs";
+              if Array.length a.Checkpoint.cs_mode_pj <> Cost.num_modes then
+                mismatch "mode count differs";
+              cycles_slots.(i) <- a.Checkpoint.cs_cycles;
+              reports_slots.(i) <- a.Checkpoint.cs_reports;
+              ledger_restore ledgers.(i) a.Checkpoint.cs_energy_pj;
+              Array.blit a.Checkpoint.cs_mode_pj 0 mode_slots.(i) 0 Cost.num_modes)
+            ck.Checkpoint.ck_arrays;
+          List.iter
+            (fun e ->
+              degraded := e :: !degraded;
+              match Sim_error.array_id e with
+              | Some i when i >= 0 && i < num_arrays -> quarantined.(i) <- Some e
+              | _ -> ())
+            ck.Checkpoint.ck_degraded;
+          Input_stream.seek stream ck.Checkpoint.ck_symbols;
+          Checkpoint.journal ~dir
+            (Printf.sprintf "resume symbols=%d degraded=%d" ck.Checkpoint.ck_symbols
+               (List.length ck.Checkpoint.ck_degraded)))
+  | _ -> ());
+  let process_chunk ~deadline ~base chunk array_id =
+    let ex = execs.(array_id) in
+    let il = insts.(array_id) and sl = state_insts.(array_id) in
+    (* accumulate locally, publish at chunk end: a crashed or timed-out
+       attempt leaves the slots untouched, so only engine state and the
+       energy sink need explicit rollback *)
+    let cycles = ref cycles_slots.(array_id) and reports = ref reports_slots.(array_id) in
     String.iteri
-      (fun sym c ->
+      (fun off c ->
+        if off land (deadline_stride - 1) = 0 then Scheduler.check_deadline deadline;
+        let sym = base + off in
         let ev = Exec.step arch ex ~sym c in
         cycles := !cycles + 1 + ev.Exec.stall;
         reports := !reports + ev.Exec.reports;
-        List.iter (fun (i : Sink.t) -> i.Sink.on_events ev) insts;
+        List.iter (fun (i : Sink.t) -> i.Sink.on_events ev) il;
         (* fault-injection surface: runs after this symbol's events are
            banked, so corruption lands in the stored state and is first
            seen at the next symbol *)
-        List.iter (fun f -> f ~sym (Exec.engines ex)) state_insts)
-      input;
-    List.iter (fun (i : Sink.t) -> i.Sink.on_close ~cycles:!cycles) insts;
-    reports_slots.(array_id) <- !reports;
-    details.(array_id) <-
-      {
-        a_cycles = !cycles;
-        a_tiles = Array.length tiles;
-        a_has_nbva = Array.exists (fun m -> m = Engine.M_nbva) (Exec.tile_modes ex);
-      }
+        List.iter (fun f -> f ~sym (Exec.engines ex)) sl)
+      chunk;
+    cycles_slots.(array_id) <- !cycles;
+    reports_slots.(array_id) <- !reports
   in
-  Scheduler.parallel_for ~jobs num_arrays simulate_array;
+  let run_chunk ~base chunk =
+    match policy with
+    | None ->
+        Scheduler.parallel_for ~jobs num_arrays (fun i ->
+            if quarantined.(i) = None then
+              process_chunk ~deadline:Scheduler.no_deadline ~base chunk i)
+    | Some policy ->
+        let rollbacks =
+          Array.init num_arrays (fun i ->
+              if quarantined.(i) <> None then None
+              else
+                Some
+                  {
+                    rb_engines = Exec.snapshot execs.(i);
+                    rb_energy = ledger_values ledgers.(i);
+                    rb_mode = Array.copy mode_slots.(i);
+                  })
+        in
+        let restore_rollback i =
+          match rollbacks.(i) with
+          | None -> ()
+          | Some rb ->
+              Exec.restore execs.(i) rb.rb_engines;
+              ledger_restore ledgers.(i) rb.rb_energy;
+              Array.blit rb.rb_mode 0 mode_slots.(i) 0 (Array.length rb.rb_mode)
+        in
+        let outcomes =
+          Scheduler.supervised_for ~jobs ~policy num_arrays (fun ~deadline ~attempt i ->
+              if quarantined.(i) = None then begin
+                if attempt > 1 then restore_rollback i;
+                process_chunk ~deadline ~base chunk i
+              end)
+        in
+        Array.iteri
+          (fun i outcome ->
+            match outcome with
+            | None -> ()
+            | Some err ->
+                (* quarantine: freeze the array at the chunk boundary it
+                   last completed, keep every other array running *)
+                restore_rollback i;
+                quarantined.(i) <- Some err;
+                degraded := err :: !degraded)
+          outcomes
+  in
+  let save_ckpt symbols =
+    match checkpoint with
+    | None -> ()
+    | Some { Checkpoint.dir; _ } ->
+        let ck_arrays =
+          Array.init num_arrays (fun i ->
+              {
+                Checkpoint.cs_cycles = cycles_slots.(i);
+                cs_reports = reports_slots.(i);
+                cs_energy_pj = ledger_values ledgers.(i);
+                cs_mode_pj = Array.copy mode_slots.(i);
+                cs_engines = Exec.snapshot execs.(i);
+              })
+        in
+        Checkpoint.save ~dir
+          {
+            Checkpoint.ck_fingerprint = fp;
+            ck_symbols = symbols;
+            ck_degraded = List.rev !degraded;
+            ck_arrays;
+          };
+        Checkpoint.journal ~dir
+          (Printf.sprintf "checkpoint symbols=%d degraded=%d" symbols (List.length !degraded))
+  in
+  let last_ckpt = ref (Input_stream.pos stream) in
+  let rec loop () =
+    let base = Input_stream.pos stream in
+    match Input_stream.next stream with
+    | None -> ()
+    | Some chunk ->
+        run_chunk ~base chunk;
+        let now = base + String.length chunk in
+        (match checkpoint with
+        | Some c when now - !last_ckpt >= c.Checkpoint.every ->
+            save_ckpt now;
+            last_ckpt := now
+        | _ -> ());
+        loop ()
+  in
+  loop ();
+  let chars = Input_stream.pos stream in
+  (* a final checkpoint makes completion itself crash-safe: killed after
+     the last symbol but before the report, a resume replays nothing and
+     reproduces the report from the saved accumulators *)
+  if !last_ckpt <> chars then save_ckpt chars;
+  Array.iteri
+    (fun i il ->
+      List.iter (fun (s : Sink.t) -> s.Sink.on_close ~cycles:cycles_slots.(i)) il)
+    insts;
+  let details =
+    Array.init num_arrays (fun i ->
+        {
+          a_cycles = cycles_slots.(i);
+          a_tiles = Array.length p.Mapper.arrays.(i);
+          a_has_nbva = Array.exists (fun m -> m = Engine.M_nbva) (Exec.tile_modes execs.(i));
+        })
+  in
   (* deterministic merge, array-index order *)
   let ledger = Energy.create () in
   Array.iter (fun l -> Energy.merge_into ~dst:ledger l) ledgers;
@@ -219,7 +424,14 @@ let run ?(jobs = 1) ?(sinks = []) (arch : Arch.t) ~params (p : Mapper.placement)
     mode_area_um2 = mode_area;
     mode_states;
     mapper_stats = mstats;
+    degraded = List.rev !degraded;
   }
+
+(* One chunk spanning the whole string keeps the historical array-major
+   symbol order at [jobs = 1], which shared-RNG fault sinks depend on. *)
+let run ?jobs ?sinks (arch : Arch.t) ~params (p : Mapper.placement) ~input =
+  let stream = Input_stream.of_string ~chunk:(max 1 (String.length input)) input in
+  run_stream ?jobs ?sinks arch ~params p ~stream
 
 (* Single pass: the stall tracer rides the same event stream as the
    energy accounting, so the engines run exactly once. *)
@@ -238,4 +450,9 @@ let pp_report fmt r =
     "@[<v>%s: %d chars in %d cycles, %.2f Gch/s, %.3f uJ, %.3f mm^2, %.3f W, %d reports, %d \
      arrays / %d tiles@]"
     (Arch.kind_name r.arch) r.chars r.cycles r.throughput_gchs (Energy.total_uj r.energy)
-    r.area_mm2 r.power_w r.match_reports r.num_arrays r.num_tiles
+    r.area_mm2 r.power_w r.match_reports r.num_arrays r.num_tiles;
+  if r.degraded <> [] then
+    Format.fprintf fmt "@,@[<v>degraded: %d array(s) quarantined%a@]" (List.length r.degraded)
+      (fun fmt l ->
+        List.iter (fun e -> Format.fprintf fmt "@,  %a" Sim_error.pp e) l)
+      r.degraded

@@ -28,6 +28,11 @@ type report = {
   mode_area_um2 : (Engine.mode * float) list;
   mode_states : (Engine.mode * int) list;
   mapper_stats : Mapper.stats;
+  degraded : Sim_error.t list;
+      (** Arrays quarantined by the supervisor, in quarantine order —
+          empty on a clean run.  A degraded report under-counts matches:
+          callers wanting a hard failure should test this (the CLI's
+          [--strict]). *)
 }
 
 val energy_efficiency_gchs_per_w : report -> float
@@ -55,6 +60,47 @@ val place_result :
   Program.compiled list ->
   Mapper.placement * Compile_error.t list * Mapper.defect_stats
 (** Defect-aware {!place}: see {!Mapper.map_units_result}. *)
+
+val fingerprint : Mapper.placement -> string
+(** Digest of everything the run state depends on: unit sources, their
+    compiled sizes and the exact tile floorplan.  A checkpoint written
+    under one fingerprint refuses to restore under another. *)
+
+val run_stream :
+  ?jobs:int ->
+  ?sinks:Sink.spec list ->
+  ?policy:Scheduler.policy ->
+  ?checkpoint:Checkpoint.config ->
+  ?resume:bool ->
+  Arch.t ->
+  params:Program.params ->
+  Mapper.placement ->
+  stream:Input_stream.t ->
+  report
+(** Chunked, crash-safe generalisation of {!run}: the input arrives
+    through an {!Input_stream.t} one chunk at a time, so memory stays
+    O(chunk); every array processes chunk [k] before any array starts
+    chunk [k+1] (a {e chunk barrier}), and within a chunk arrays are
+    scheduled exactly like {!run}.
+
+    [policy] turns on supervision: each array's chunk attempt runs under
+    a cooperative per-attempt deadline (checked every 256 symbols) and
+    is retried with exponential backoff after a crash or timeout; an
+    array that exhausts its retries is rolled back to the chunk start,
+    {e quarantined} for the rest of the run, and surfaced in
+    [report.degraded] — the run still completes.  The built-in
+    accounting (cycles, reports, energy) is rolled back exactly on retry;
+    user [sinks] observe at-least-once event delivery under supervision,
+    so side-effecting sinks should be idempotent or left unsupervised.
+
+    [checkpoint] saves a crash-consistent {!Checkpoint.t} at the first
+    chunk barrier after every [every] symbols, plus one at end of input.
+    With [resume] (and a checkpoint present) the run restores the saved
+    accumulators and engine state, seeks the stream — which must be
+    seekable — to the saved offset, and continues; the final report is
+    bit-identical to the uninterrupted run's, at any [jobs].  Raises
+    [Sim_error.Error] on a corrupt checkpoint, a fingerprint mismatch,
+    or an unseekable resume source. *)
 
 val run :
   ?jobs:int ->

@@ -15,15 +15,23 @@ let parallel_for ~jobs n f =
        workers must write to per-index slots only. *)
     let next = Atomic.make 0 in
     let first_exn = Atomic.make None in
+    (* fail fast: once a worker records an exception, the flag stops every
+       domain from pulling further indices — only work already in flight
+       finishes.  Without it the whole remaining index range would still be
+       dispatched and fully executed after the failure. *)
+    let cancelled = Atomic.make false in
     let worker () =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (try f i
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore (Atomic.compare_and_set first_exn None (Some (e, bt))));
-          loop ()
+        if not (Atomic.get cancelled) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (try f i
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set first_exn None (Some (e, bt)));
+               Atomic.set cancelled true);
+            loop ()
+          end
         end
       in
       loop ()
@@ -35,3 +43,57 @@ let parallel_for ~jobs n f =
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: deadlines, bounded retry with backoff, quarantine.     *)
+
+type deadline = { d_start : float; d_limit : float option }
+
+exception Deadline_exceeded
+
+let no_deadline = { d_start = 0.; d_limit = None }
+
+let check_deadline d =
+  match d.d_limit with
+  | None -> ()
+  | Some limit -> if Unix.gettimeofday () -. d.d_start > limit then raise Deadline_exceeded
+
+type policy = { deadline_s : float option; retries : int; backoff_s : float }
+
+let default_policy = { deadline_s = None; retries = 2; backoff_s = 0.05 }
+
+let supervised_for ~jobs ~policy n f =
+  let outcomes = Array.make n None in
+  let supervise i =
+    let rec go attempt =
+      let deadline = { d_start = Unix.gettimeofday (); d_limit = policy.deadline_s } in
+      match f ~deadline ~attempt i with
+      | () -> None
+      | exception e ->
+          if attempt <= policy.retries then begin
+            (* exponential backoff: transient contention (a loaded machine,
+               a slow filesystem) deserves breathing room before the rerun *)
+            if policy.backoff_s > 0. then
+              Unix.sleepf (policy.backoff_s *. float_of_int (1 lsl (attempt - 1)));
+            go (attempt + 1)
+          end
+          else begin
+            match e with
+            | Deadline_exceeded ->
+                Some
+                  (Sim_error.Array_timeout
+                     {
+                       array_id = i;
+                       attempts = attempt;
+                       deadline_s = Option.value policy.deadline_s ~default:0.;
+                     })
+            | e ->
+                Some
+                  (Sim_error.Array_crashed
+                     { array_id = i; attempts = attempt; detail = Printexc.to_string e })
+          end
+    in
+    outcomes.(i) <- go 1
+  in
+  parallel_for ~jobs n supervise;
+  outcomes

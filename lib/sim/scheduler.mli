@@ -4,7 +4,9 @@
     communication exists in the hardware (§3.3) — so the runner farms one
     array per task.  Indices are pulled dynamically from a shared
     counter; any exception in a worker is re-raised in the caller after
-    all domains join.
+    all domains join, and cancels the dispatch of indices not yet
+    started (fail-fast: work already in flight finishes, nothing new is
+    pulled).
 
     Determinism contract: [f i] must confine its writes to slot [i] of
     pre-allocated result arrays; the caller then merges slots in index
@@ -17,3 +19,52 @@ val default_jobs : unit -> int
 val parallel_for : jobs:int -> int -> (int -> unit) -> unit
 (** [parallel_for ~jobs n f] runs [f 0 .. f (n-1)] on [min jobs n]
     domains ([jobs <= 1] degenerates to a plain sequential loop). *)
+
+(** {1 Supervision}
+
+    Long runs must survive a crashing or hung work item: a supervised
+    loop retries each failing item with exponential backoff and, when
+    the item keeps failing, {e quarantines} it — the failure becomes a
+    {!Sim_error.t} value in the result slot instead of an exception, and
+    every other item still runs to completion.  This mirrors PR 1's
+    graceful-degradation philosophy at the execution layer. *)
+
+type deadline
+(** A per-attempt wall-clock budget.  OCaml domains cannot be killed
+    preemptively, so deadlines are cooperative: long-running work items
+    call {!check_deadline} periodically (the runner does so every 256
+    symbols). *)
+
+exception Deadline_exceeded
+(** Raised by {!check_deadline}; treated by {!supervised_for} as a
+    timeout rather than a crash. *)
+
+val no_deadline : deadline
+(** Never expires — for unsupervised call sites sharing a supervised
+    code path. *)
+
+val check_deadline : deadline -> unit
+(** Raises {!Deadline_exceeded} once the attempt's budget is spent. *)
+
+type policy = {
+  deadline_s : float option;  (** Per-attempt wall-clock budget; [None] = unbounded. *)
+  retries : int;  (** Re-attempts after the first failure. *)
+  backoff_s : float;  (** Base backoff; attempt [k] sleeps [backoff_s * 2^(k-1)]. *)
+}
+
+val default_policy : policy
+(** No deadline, 2 retries, 50 ms base backoff. *)
+
+val supervised_for :
+  jobs:int ->
+  policy:policy ->
+  int ->
+  (deadline:deadline -> attempt:int -> int -> unit) ->
+  Sim_error.t option array
+(** [supervised_for ~jobs ~policy n f] runs every index like
+    {!parallel_for} but never lets one index abort the others: index [i]
+    is attempted up to [1 + retries] times ([attempt] is 1-based, so the
+    item can restore a pre-attempt snapshot when [attempt > 1]), and the
+    result slot [i] holds [None] on success or [Some error] when every
+    attempt failed.  [f] must leave slot-confined state restorable by
+    the caller — the scheduler does not know how to roll work back. *)

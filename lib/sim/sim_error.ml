@@ -1,0 +1,40 @@
+(* See sim_error.mli. *)
+
+type t =
+  | Array_crashed of { array_id : int; attempts : int; detail : string }
+  | Array_timeout of { array_id : int; attempts : int; deadline_s : float }
+  | Checkpoint_corrupt of { path : string; detail : string }
+  | Checkpoint_mismatch of { detail : string }
+  | Stream_failed of { detail : string }
+
+exception Error of t
+
+let label = function
+  | Array_crashed _ -> "array-crashed"
+  | Array_timeout _ -> "array-timeout"
+  | Checkpoint_corrupt _ -> "checkpoint-corrupt"
+  | Checkpoint_mismatch _ -> "checkpoint-mismatch"
+  | Stream_failed _ -> "stream-failed"
+
+let array_id = function
+  | Array_crashed { array_id; _ } | Array_timeout { array_id; _ } -> Some array_id
+  | Checkpoint_corrupt _ | Checkpoint_mismatch _ | Stream_failed _ -> None
+
+let message = function
+  | Array_crashed { array_id; attempts; detail } ->
+      Printf.sprintf "array %d crashed after %d attempt(s): %s" array_id attempts detail
+  | Array_timeout { array_id; attempts; deadline_s } ->
+      Printf.sprintf "array %d exceeded its %.3fs deadline on %d attempt(s)" array_id
+        deadline_s attempts
+  | Checkpoint_corrupt { path; detail } ->
+      Printf.sprintf "checkpoint %s is corrupt: %s" path detail
+  | Checkpoint_mismatch { detail } ->
+      Printf.sprintf "checkpoint does not match this run: %s" detail
+  | Stream_failed { detail } -> Printf.sprintf "input stream failed: %s" detail
+
+let pp fmt e = Format.fprintf fmt "[%s] %s" (label e) (message e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Sim_error.Error (%s: %s)" (label e) (message e))
+    | _ -> None)

@@ -1,0 +1,41 @@
+(** Typed execution-layer failure taxonomy.
+
+    PR 1 gave the compiler a structured {!Compile_error.t}; this is the
+    same philosophy at the execution layer.  Long-running simulations can
+    fail in ways that must not poison the whole run: a worker array can
+    crash or hang (supervised by {!Scheduler.supervised_for}), a
+    checkpoint file can be corrupt or belong to a different placement,
+    and a streaming input can go away under the process.  Every such
+    failure is a value of this type, so callers (the runner, the CLI, CI
+    gates) can report and react instead of matching on exception
+    strings. *)
+
+type t =
+  | Array_crashed of { array_id : int; attempts : int; detail : string }
+      (** A simulation work item raised on every attempt; [attempts]
+          counts them (1 + retries). *)
+  | Array_timeout of { array_id : int; attempts : int; deadline_s : float }
+      (** The per-array deadline expired on every attempt. *)
+  | Checkpoint_corrupt of { path : string; detail : string }
+      (** Bad magic, truncated payload, or CRC mismatch. *)
+  | Checkpoint_mismatch of { detail : string }
+      (** A structurally valid checkpoint for a different placement,
+          architecture, or rule set. *)
+  | Stream_failed of { detail : string }
+      (** The input stream cannot be opened, read, or (for resume)
+          seeked. *)
+
+exception Error of t
+(** The carrier used by streaming/checkpoint code paths; supervised
+    scheduling converts worker exceptions into values instead. *)
+
+val label : t -> string
+(** Short stable tag ([array-crashed], [checkpoint-corrupt], ...) for
+    logs and journals. *)
+
+val array_id : t -> int option
+(** The array a per-array failure refers to; [None] for run-level
+    failures. *)
+
+val message : t -> string
+val pp : Format.formatter -> t -> unit

@@ -22,9 +22,12 @@ let stall_trace ~num_arrays =
       name = "stall-trace";
       make =
         (fun ~array_id ~chars ->
-          let trace = Array.make chars 0 in
+          (* [chars] is a hint: 0 for unknown-length streams, so guard the
+             write instead of trusting the size *)
+          let trace = Array.make (max 0 chars) 0 in
           traces.(array_id) <- trace;
-          events_only (fun ev -> trace.(ev.Exec.sym) <- ev.Exec.stall));
+          events_only (fun ev ->
+              if ev.Exec.sym < Array.length trace then trace.(ev.Exec.sym) <- ev.Exec.stall));
     }
   in
   (spec, fun () -> traces)

@@ -14,6 +14,7 @@ let () =
       ("mapper", Test_mapper.suite);
       ("sim", Test_sim.suite);
       ("exec", Test_exec.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("fault", Test_fault.suite);
       ("workloads", Test_workloads.suite);
       ("api", Test_api.suite);
