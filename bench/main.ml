@@ -163,6 +163,90 @@ let kernel_bench env ~name =
     name (String.length input) (List.length automata) ref_s bp_s (sps ref_s) (sps bp_s) speedup
     (hits_ref = hits_bp)
 
+(* Batched serving: B streams of the Snort workload (each rotated so the
+   streams are distinct) against one shared placement, wall-clock plus
+   the simulated aggregate vs the sequential sum-of-cycles baseline, and
+   per-stream bit-identity against solo runs.  The same section probes
+   the placement cache: a warm [Runner.prepare] must hit the artifact
+   without bumping the compile counter. *)
+let stream_scaling env ~jobs =
+  let params = Program.default_params in
+  let arch = Rap.rap_arch () in
+  let s = Benchmarks.by_name ~scale:env.Experiments.scale "Snort" in
+  let input = s.Benchmarks.make_input ~chars:env.Experiments.chars in
+  let rotate i =
+    let n = String.length input in
+    let k = i * n / 8 in
+    String.sub input k (n - k) ^ String.sub input 0 k
+  in
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rap-bench-cache-%d" (Unix.getpid ()))
+  in
+  let compiles f =
+    let before = Runner.compile_count () in
+    let r = f () in
+    (r, Runner.compile_count () - before)
+  in
+  let (placement, _, st_cold), compiles_cold =
+    compiles (fun () -> Runner.prepare ~cache_dir arch ~params s.Benchmarks.regexes)
+  in
+  let (placement_warm, _, st_warm), compiles_warm =
+    compiles (fun () -> Runner.prepare ~cache_dir arch ~params s.Benchmarks.regexes)
+  in
+  let key =
+    Program_cache.key ~arch_tag:(Runner.arch_tag arch) ~params_tag:(Runner.params_tag params)
+      ~sources:(List.map fst s.Benchmarks.regexes)
+  in
+  (try Sys.remove (Program_cache.path ~dir:cache_dir ~key) with Sys_error _ -> ());
+  (try Sys.rmdir cache_dir with Sys_error _ -> ());
+  let warm_hit =
+    st_cold = Runner.Cache_miss && st_warm = Runner.Cache_hit && compiles_warm = 0
+    && Runner.fingerprint placement = Runner.fingerprint placement_warm
+  in
+  Printf.printf "placement cache: cold %d compile(s), warm %d compile(s), warm_hit=%b\n%!"
+    compiles_cold compiles_warm warm_hit;
+  let rows =
+    List.map
+      (fun b ->
+        let inputs = List.init b rotate in
+        let sources =
+          Array.of_list
+            (List.mapi (fun i inp -> Batch.of_string ~name:(Printf.sprintf "s%d" i) inp) inputs)
+        in
+        let batch, wall =
+          time (fun () ->
+              Batch.run ~jobs ~group:Batch.default_group arch ~params placement ~sources)
+        in
+        let solos = List.map (fun inp -> Runner.run ~jobs:1 arch ~params placement ~input:inp) inputs in
+        let identical =
+          List.for_all2
+            (fun solo (sr : Batch.stream_report) -> solo = sr.Batch.bs_report)
+            solos
+            (Array.to_list batch.Batch.streams)
+        in
+        let seq_cycles = List.fold_left (fun acc r -> acc + r.Runner.cycles) 0 solos in
+        let agg = batch.Batch.aggregate in
+        let seq_gchs =
+          if seq_cycles > 0 then
+            float_of_int agg.Batch.agg_chars *. arch.Arch.clock_ghz /. float_of_int seq_cycles
+          else 0.
+        in
+        let speedup = if seq_gchs > 0. then agg.Batch.agg_throughput_gchs /. seq_gchs else 0. in
+        Printf.printf
+          "streams=%d jobs=%d: %.3fs wall, %.3f Gch/s aggregate (sequential %.3f), sim speedup %.2fx, identical=%b\n%!"
+          b jobs wall agg.Batch.agg_throughput_gchs seq_gchs speedup identical;
+        Printf.sprintf
+          {|    {"streams": %d, "jobs": %d, "group": %d, "wall_s": %.6f,
+     "agg_chars": %d, "agg_cycles": %d, "agg_gchs": %.6f,
+     "seq_gchs": %.6f, "sim_speedup": %.4f,
+     "compiles_cold": %d, "compiles_warm": %d, "identical": %b}|}
+          b jobs Batch.default_group wall agg.Batch.agg_chars agg.Batch.agg_cycles
+          agg.Batch.agg_throughput_gchs seq_gchs speedup compiles_cold compiles_warm identical)
+      [ 1; 2; 4; 8 ]
+  in
+  (rows, compiles_cold, compiles_warm, warm_hit)
+
 let sim env ~out =
   let jobs =
     if env.Experiments.jobs > 1 then env.Experiments.jobs else Scheduler.default_jobs ()
@@ -184,6 +268,19 @@ let sim env ~out =
         let gchs wall =
           if wall > 0. then float_of_int seq.Runner.chars /. wall /. 1e9 else 0.
         in
+        (* full jobs trajectory, not just the endpoints *)
+        let scaling =
+          (1, seq, seq_s)
+          :: List.map (fun j -> let r, w = time (run j) in (j, r, w)) [ 2; 4 ]
+        in
+        let scaling_json =
+          String.concat ", "
+            (List.map
+               (fun (j, r, w) ->
+                 Printf.sprintf {|{"jobs": %d, "wall_s": %.6f, "gchs": %.6f, "identical": %b}|}
+                   j w (gchs w) (r = seq))
+               scaling)
+        in
         Printf.printf
           "%-14s %d arrays: jobs=1 %.3fs (%.4f Gch/s), jobs=%d %.3fs (%.4f Gch/s), speedup %.2fx, identical=%b; scalar-kernel %.3fs (%.2fx, identical=%b)\n%!"
           name seq.Runner.num_arrays seq_s (gchs seq_s) jobs par_s (gchs par_s)
@@ -196,20 +293,31 @@ let sim env ~out =
      "seq_wall_s": %.6f, "par_wall_s": %.6f, "speedup": %.4f,
      "seq_gchs": %.6f, "par_gchs": %.6f,
      "simulated_gchs": %.6f, "identical": %b,
+     "jobs_scaling": [%s],
      "ref_kernel_wall_s": %.6f, "kernel_speedup": %.4f, "kernel_identical": %b}|}
           name seq.Runner.chars seq.Runner.num_arrays jobs seq_s par_s
           (if par_s > 0. then seq_s /. par_s else 0.)
-          (gchs seq_s) (gchs par_s) seq.Runner.throughput_gchs (seq = par) refk_s
+          (gchs seq_s) (gchs par_s) seq.Runner.throughput_gchs (seq = par) scaling_json refk_s
           (if seq_s > 0. then refk_s /. seq_s else 0.)
           (refk = seq))
       [ "Snort"; "Yara"; "ClamAV"; "Prosite" ]
   in
   let kernel_rows = List.map (fun name -> kernel_bench env ~name) [ "Snort"; "Yara" ] in
+  let stream_rows, compiles_cold, compiles_warm, warm_hit = stream_scaling env ~jobs in
   let oc = open_out out in
   Printf.fprintf oc
-    "{\n  \"jobs\": %d,\n  \"workloads\": [\n%s\n  ],\n  \"nfa_kernel\": [\n%s\n  ]\n}\n" jobs
+    "{\n\
+    \  \"jobs\": %d,\n\
+    \  \"workloads\": [\n%s\n  ],\n\
+    \  \"nfa_kernel\": [\n%s\n  ],\n\
+    \  \"placement_cache\": {\"compiles_cold\": %d, \"compiles_warm\": %d, \"warm_hit\": %b},\n\
+    \  \"stream_scaling\": [\n%s\n  ]\n\
+     }\n"
+    jobs
     (String.concat ",\n" rows)
-    (String.concat ",\n" kernel_rows);
+    (String.concat ",\n" kernel_rows)
+    compiles_cold compiles_warm warm_hit
+    (String.concat ",\n" stream_rows);
   close_out oc;
   Printf.printf "wrote %s\n" out
 

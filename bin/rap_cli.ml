@@ -7,6 +7,7 @@
      rap match    REGEX [INPUT|-]         find matches with the reference engine
      rap compile  REGEX...                show the mode decision and resources
      rap simulate -e REGEX... [INPUT|-]   run the RAP simulator on a rule set
+     rap batch    -e REGEX... FILE...     serve many streams against one placement
      rap faults   -e REGEX... --rate R [INPUT|-]   seeded fault-injection campaign
      rap eval     --data Snort,Yara --task DSE|NBVA|LNFA|ASIC|ALL|...
 *)
@@ -165,9 +166,28 @@ let required_input ~file pos =
       Input_stream.close stream;
       text)
 
-let print_report report =
-  Format.printf "%a@." Runner.pp_report report;
-  Format.printf "energy breakdown:@.%a@." Energy.pp report.Runner.energy
+(* One string for both stdout and --report-dir files, so a batch
+   stream's report file is byte-diffable against `rap simulate` output. *)
+let report_text report =
+  Format.asprintf "%a@.energy breakdown:@.%a@." Runner.pp_report report Energy.pp
+    report.Runner.energy
+
+let print_report report = print_string (report_text report)
+
+let cache_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Cache the compiled placement in $(docv) (created if missing), keyed by rule \
+                 set, architecture and compile parameters; a warm run loads the artifact and \
+                 skips compilation entirely.  Stale or corrupt artifacts are rejected and \
+                 recompiled.")
+
+let note_cache_status = function
+  | Runner.Cache_off -> ()
+  | Runner.Cache_hit -> Printf.eprintf "cache: hit (compilation skipped)\n%!"
+  | Runner.Cache_miss -> Printf.eprintf "cache: miss (compiled and stored)\n%!"
+  | Runner.Cache_invalid detail -> Printf.eprintf "cache: invalid (%s); recompiled\n%!" detail
 
 let jobs_arg =
   Arg.(value & opt int 1
@@ -251,7 +271,7 @@ let simulate_cmd =
              ~doc:"Streaming chunk size; checkpoints land on chunk boundaries.")
   in
   let run regexes input file arch jobs trace ckpt_dir ckpt_every resume strict deadline retries
-      chunk =
+      chunk cache =
     if chunk <= 0 then fail_input "--chunk must be positive";
     let stream = required_stream ~chunk ~file input in
     let jobs = resolve_jobs jobs in
@@ -274,14 +294,14 @@ let simulate_cmd =
             }
     in
     let parsed = parse_rules regexes in
-    let units, errors = Runner.compile_for arch ~params parsed in
+    let placement, errors, cache_status = Runner.prepare ?cache_dir:cache arch ~params parsed in
+    note_cache_status cache_status;
     List.iter (fun e -> Format.eprintf "dropped: %a@." Compile_error.pp e) errors;
-    if units = [] then begin
+    if Array.length placement.Mapper.units = 0 then begin
       Printf.eprintf "error: no regex compiled\n";
       1
     end
     else begin
-      let placement = Runner.place arch ~params units in
       let num_arrays = Array.length placement.Mapper.arrays in
       (* resume note before the (possibly long) run, so an operator
          watching stderr sees where the run picked up *)
@@ -331,7 +351,136 @@ let simulate_cmd =
   let doc = "Run a rule set through the cycle-level hardware simulator." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ jobs_arg $ trace
-          $ ckpt_dir $ ckpt_every $ resume $ strict $ deadline $ retries $ chunk)
+          $ ckpt_dir $ ckpt_every $ resume $ strict $ deadline $ retries $ chunk $ cache_arg)
+
+(* ---- rap batch ---- *)
+
+let batch_cmd =
+  let files =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILE" ~doc:"An input stream file (one stream per file, repeatable).")
+  in
+  let manifest =
+    Arg.(value & opt (some string) None
+         & info [ "manifest" ] ~docv:"LIST"
+             ~doc:"Read additional stream paths from $(docv), one per line ($(b,-) reads the \
+                   list from stdin); blank lines and $(b,#) comments are skipped.")
+  in
+  let group =
+    Arg.(value & opt int Batch.default_group
+         & info [ "group" ] ~docv:"K"
+             ~doc:"Streams interleaved per kernel pass; changes wall-clock only, never \
+                   results.")
+  in
+  let chunk =
+    Arg.(value & opt int Input_stream.default_chunk
+         & info [ "chunk" ] ~docv:"BYTES" ~doc:"Streaming chunk size per stream.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit with status 3 when any rule fails to compile.")
+  in
+  let report_dir =
+    Arg.(value & opt (some string) None
+         & info [ "report-dir" ] ~docv:"DIR"
+             ~doc:"Also write each stream's report to $(docv)/$(i,stream).report, \
+                   byte-identical to what $(b,rap simulate) prints for that input alone.")
+  in
+  let run regexes files manifest arch jobs group chunk strict report_dir cache =
+    if chunk <= 0 then fail_input "--chunk must be positive";
+    if group <= 0 then fail_input "--group must be positive";
+    let manifest_paths =
+      match manifest with
+      | None -> []
+      | Some src ->
+          let read_lines ic =
+            let rec loop acc =
+              match input_line ic with
+              | line -> loop (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            loop []
+          in
+          let lines =
+            if src = "-" then read_lines stdin
+            else
+              match open_in src with
+              | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_lines ic)
+              | exception Sys_error msg -> fail_input msg
+          in
+          List.filter
+            (fun l -> l <> "" && l.[0] <> '#')
+            (List.map String.trim lines)
+    in
+    let paths = files @ manifest_paths in
+    if paths = [] then fail_input "no input streams (give FILE... and/or --manifest LIST)";
+    List.iter
+      (fun p -> if not (Sys.file_exists p) then fail_input (Printf.sprintf "no such file %s" p))
+      paths;
+    let jobs = resolve_jobs jobs in
+    let arch = arch_of arch in
+    let params = Program.default_params in
+    let parsed = parse_rules regexes in
+    let parse_drops = List.length regexes - List.length parsed in
+    let placement, errors, cache_status = Runner.prepare ?cache_dir:cache arch ~params parsed in
+    note_cache_status cache_status;
+    List.iter (fun e -> Format.eprintf "dropped: %a@." Compile_error.pp e) errors;
+    if Array.length placement.Mapper.units = 0 then begin
+      Printf.eprintf "error: no regex compiled\n";
+      1
+    end
+    else begin
+      let sources =
+        Array.of_list (List.map (fun p -> Batch.of_file ~chunk ~name:p p) paths)
+      in
+      match Batch.run ~jobs ~group arch ~params placement ~sources with
+      | exception Sim_error.Error e ->
+          Printf.eprintf "error: %s\n" (Sim_error.message e);
+          2
+      | b ->
+          Array.iter
+            (fun (s : Batch.stream_report) ->
+              Printf.printf "== stream %s ==\n" s.Batch.bs_name;
+              print_report s.Batch.bs_report)
+            b.Batch.streams;
+          Format.printf "%a@." Batch.pp_aggregate b.Batch.aggregate;
+          Option.iter
+            (fun dir ->
+              (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+              let sanitize name =
+                String.map
+                  (fun c ->
+                    match c with
+                    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c
+                    | _ -> '_')
+                  (Filename.basename name)
+              in
+              Array.iter
+                (fun (s : Batch.stream_report) ->
+                  let path = Filename.concat dir (sanitize s.Batch.bs_name ^ ".report") in
+                  let oc = open_out path in
+                  Fun.protect
+                    ~finally:(fun () -> close_out_noerr oc)
+                    (fun () -> output_string oc (report_text s.Batch.bs_report));
+                  Printf.printf "wrote %s\n" path)
+                b.Batch.streams)
+            report_dir;
+          let dropped = parse_drops + List.length errors in
+          if strict && dropped > 0 then begin
+            Printf.eprintf "strict: %d rule(s) dropped at parse or compile time\n" dropped;
+            3
+          end
+          else 0
+    end
+  in
+  let doc =
+    "Run many independent input streams against one shared compiled placement, interleaving \
+     streams through the batched kernel; per-stream reports are bit-identical to solo \
+     $(b,rap simulate) runs."
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const run $ regexes_arg $ files $ manifest $ arch_arg $ jobs_arg $ group $ chunk
+          $ strict $ report_dir $ cache_arg)
 
 (* ---- rap faults ---- *)
 
@@ -578,5 +727,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ match_cmd; compile_cmd; simulate_cmd; faults_cmd; eval_cmd; check_cmd; export_cmd;
-            ablate_cmd; mnrl_cmd ]))
+          [ match_cmd; compile_cmd; simulate_cmd; batch_cmd; faults_cmd; eval_cmd; check_cmd;
+            export_cmd; ablate_cmd; mnrl_cmd ]))

@@ -124,6 +124,21 @@ let of_ast r =
       if finals.(q) then Bitvec.set final_mask q;
       Array.iter (fun s -> Bitvec.set succ_mask.(q) s) succs.(q))
     stes;
+  (* Hash-cons the mask tables: states sharing a character class produce
+     equal per-byte masks (most of the 256 entries collapse to a handful),
+     and unfolded chains produce many equal successor masks.  Sharing them
+     cuts compiled-program memory, and — because [Marshal] preserves
+     sharing — shrinks the cached placement artifact.  Safe: the kernels
+     only ever read these vectors (blit/AND/OR sources). *)
+  let cons_tbl = Hashtbl.create 64 in
+  let canon v =
+    let key = Bytes.to_string (Bitvec.to_bytes v) in
+    match Hashtbl.find_opt cons_tbl key with
+    | Some c -> c
+    | None ->
+        Hashtbl.add cons_tbl key v;
+        v
+  in
   {
     stes;
     succs;
@@ -133,10 +148,10 @@ let of_ast r =
     accepts_empty = info.nullable;
     plan =
       {
-        labels_mask;
-        initial_mask;
-        final_mask;
-        succ_mask;
+        labels_mask = Array.map canon labels_mask;
+        initial_mask = canon initial_mask;
+        final_mask = canon final_mask;
+        succ_mask = Array.map canon succ_mask;
         bv_states = Array.of_list (List.rev !bv_states);
       };
   }
@@ -243,6 +258,73 @@ let kernel = ref Bit_parallel
 
 let step_selected t st c =
   match !kernel with Bit_parallel -> step t st c | Reference -> step_reference t st c
+
+(* Batched stepping: K independent streams against one shared automaton.
+   Phase-major, stream-minor — every phase sweeps all K streams before
+   the next phase begins, so the 256-entry labels table and the successor
+   masks are traversed once per kernel pass while serving every stream
+   (they stay cache-resident instead of being evicted between per-stream
+   steps).  Per-stream results are bit-identical to [step]: each phase
+   reads and writes only that stream's buffers, in the same order. *)
+let step_multi t sts cs hits =
+  let p = t.plan in
+  let k = Array.length sts in
+  if Array.length cs < k || Array.length hits < k then
+    invalid_arg "Nbva.step_multi: per-stream buffers shorter than the state array";
+  for i = 0 to k - 1 do
+    let st = sts.(i) in
+    Bitvec.blit ~src:p.initial_mask ~dst:st.avail;
+    Bitvec.iter_set st.or_succ st.active
+  done;
+  for i = 0 to k - 1 do
+    let st = sts.(i) in
+    Bitvec.blit ~src:st.avail ~dst:st.next;
+    Bitvec.and_in st.next p.labels_mask.(Char.code cs.(i))
+  done;
+  let bvs = p.bv_states in
+  for j = 0 to Array.length bvs - 1 do
+    let q = bvs.(j) in
+    match t.stes.(q) with
+    | Plain _ -> assert false
+    | Bv { cc; read; size = _ } ->
+        for i = 0 to k - 1 do
+          let st = sts.(i) in
+          let v = match st.vectors.(q) with Some v -> v | None -> assert false in
+          if Charclass.mem cc cs.(i) then begin
+            Bitvec.shift_left1 v ~carry_in:false;
+            if Bitvec.get st.avail q then Bitvec.set v 0
+          end
+          else Bitvec.clear v;
+          let fires =
+            match read with
+            | Read_exact m -> Bitvec.get v (m - 1)
+            | Read_all -> not (Bitvec.is_zero v)
+          in
+          if fires then Bitvec.set st.next q
+        done
+  done;
+  for i = 0 to k - 1 do
+    let st = sts.(i) in
+    let cur = st.active in
+    st.active <- st.next;
+    st.next <- cur;
+    hits.(i) <- Bitvec.intersects st.active p.final_mask
+  done
+
+let step_multi_selected t sts cs hits =
+  match !kernel with
+  | Bit_parallel -> step_multi t sts cs hits
+  | Reference -> Array.iteri (fun i st -> hits.(i) <- step_reference t st cs.(i)) sts
+
+let mask_table_stats t =
+  let p = t.plan in
+  let seen = ref [] in
+  let add v = if not (List.memq v !seen) then seen := v :: !seen in
+  Array.iter add p.labels_mask;
+  Array.iter add p.succ_mask;
+  add p.initial_mask;
+  add p.final_mask;
+  (List.length !seen, Array.length p.labels_mask + Array.length p.succ_mask + 2)
 
 let bv_active_count t st =
   let acc = ref 0 in

@@ -78,6 +78,30 @@ val kernel : kernel ref
 val step_selected : t -> run_state -> char -> bool
 (** {!step} or {!step_reference} according to {!kernel}. *)
 
+(** {1 Batched multi-stream stepping}
+
+    One compiled automaton can serve many independent input streams at
+    once: [step_multi t sts cs hits] advances stream [i] by symbol
+    [cs.(i)] for every [i], phase-major — each kernel phase sweeps all
+    streams before the next begins, so the per-byte labels table and the
+    successor-mask unions are shared across streams in cache.  Stream
+    [i]'s state after the call is bit-identical to [step t sts.(i)
+    cs.(i)], and [hits.(i)] is that call's return value. *)
+
+val step_multi : t -> run_state array -> char array -> bool array -> unit
+(** [cs] and [hits] must be at least as long as [sts]; entries beyond
+    the state count are ignored/left untouched. *)
+
+val step_multi_selected : t -> run_state array -> char array -> bool array -> unit
+(** {!step_multi}, or a per-stream {!step_reference} loop when the
+    {!kernel} selector asks for the scalar reference. *)
+
+val mask_table_stats : t -> int * int
+(** [(physical, logical)] mask-vector counts of the execution plan: the
+    256 per-byte label masks, the per-state successor masks and the
+    initial/final masks are hash-consed at construction, so [physical]
+    is typically far below [logical]. *)
+
 val bv_active_count : t -> run_state -> int
 (** Number of BV-STEs whose vector is currently nonzero — the trigger count
     of the bit-vector-processing phase. *)

@@ -1,0 +1,84 @@
+(* See artifact.mli. *)
+
+(* ---- CRC-32 (reflected, poly 0xEDB88320 — the zlib/POSIX cksum one) ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+(* ---- framing ---- *)
+
+let frame ~magic ~version payload =
+  let b = Buffer.create (String.length magic + 13 + String.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr (version land 0xFF));
+  let crc = crc32 payload in
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((crc lsr (8 * i)) land 0xFF))
+  done;
+  let len = Int64.of_int (String.length payload) in
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr (Int64.to_int (Int64.shift_right_logical len (8 * i)) land 0xFF))
+  done;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let unframe ~magic ~version raw =
+  let ml = String.length magic in
+  let header_len = ml + 1 + 4 + 8 in
+  if String.length raw < header_len then Error "shorter than the header"
+  else if String.sub raw 0 ml <> magic then Error "bad magic"
+  else
+    let v = Char.code raw.[ml] in
+    if v <> version then Error (Printf.sprintf "unsupported version %d" v)
+    else begin
+      let byte at = Char.code raw.[at] in
+      let crc = ref 0 in
+      for i = 0 to 3 do
+        crc := !crc lor (byte (ml + 1 + i) lsl (8 * i))
+      done;
+      let len = ref 0L in
+      for i = 0 to 7 do
+        len := Int64.logor !len (Int64.shift_left (Int64.of_int (byte (ml + 5 + i))) (8 * i))
+      done;
+      let len = Int64.to_int !len in
+      if len < 0 || header_len + len <> String.length raw then Error "payload length mismatch"
+      else
+        let payload = String.sub raw header_len len in
+        if crc32 payload <> !crc then Error "CRC mismatch" else Ok payload
+    end
+
+(* ---- filesystem ---- *)
+
+let write ~path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data);
+  (* the rename is the commit point: readers only ever see the previous
+     complete artifact or this one, never a torn write *)
+  Sys.rename tmp path
+
+let save ~path ~magic ~version payload = write ~path (frame ~magic ~version payload)
+
+let load ~path ~magic ~version =
+  if not (Sys.file_exists path) then Ok None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error ("unreadable: " ^ msg)
+    | raw -> ( match unframe ~magic ~version raw with Ok p -> Ok (Some p) | Error e -> Error e)

@@ -1,0 +1,62 @@
+(* See program_cache.mli. *)
+
+let magic = "RAPPROG"
+
+(* Bump whenever any type reachable from [entry] changes layout: the
+   version byte in the Artifact envelope is the only thing standing
+   between an old artifact and Marshal reading it as garbage. *)
+let version = 1
+
+type entry = {
+  e_key : string;
+  e_ocaml : string;  (* Sys.ocaml_version — Marshal is not cross-version stable *)
+  e_placement : Mapper.placement;
+  e_errors : Compile_error.t list;
+}
+
+type lookup_result =
+  | Hit of Mapper.placement * Compile_error.t list
+  | Miss
+  | Invalid of string
+
+let key ~arch_tag ~params_tag ~sources =
+  let b = Buffer.create 256 in
+  Buffer.add_string b arch_tag;
+  Buffer.add_char b '\000';
+  Buffer.add_string b params_tag;
+  Buffer.add_char b '\000';
+  List.iter
+    (fun s ->
+      Buffer.add_string b s;
+      Buffer.add_char b '\001')
+    sources;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let path ~dir ~key = Filename.concat dir (Printf.sprintf "rap-%s.prog" key)
+
+let store ~dir ~key placement errors =
+  match
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let payload =
+      Marshal.to_string
+        { e_key = key; e_ocaml = Sys.ocaml_version; e_placement = placement; e_errors = errors }
+        []
+    in
+    Artifact.save ~path:(path ~dir ~key) ~magic ~version payload
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let lookup ~dir ~key =
+  match Artifact.load ~path:(path ~dir ~key) ~magic ~version with
+  | Ok None -> Miss
+  | Error detail -> Invalid detail
+  | Ok (Some payload) -> (
+      match (Marshal.from_string payload 0 : entry) with
+      | exception Failure msg -> Invalid ("unmarshalable payload: " ^ msg)
+      | e ->
+          if e.e_ocaml <> Sys.ocaml_version then
+            Invalid
+              (Printf.sprintf "built by OCaml %s, this is %s" e.e_ocaml Sys.ocaml_version)
+          else if e.e_key <> key then Invalid "key mismatch (artifact renamed or collided)"
+          else Hit (e.e_placement, e.e_errors))

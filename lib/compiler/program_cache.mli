@@ -1,0 +1,43 @@
+(** Compiled-placement cache.
+
+    Compiling a rule set — parsing, rewriting, Glushkov/NBVA
+    construction, mode selection, binning, mapping, and the bit-parallel
+    mask tables — is pure in its inputs: the regex sources, the
+    compilation parameters, and the target architecture.  This cache
+    marshals the finished {!Mapper.placement} (plus the structured
+    compile errors that accompanied it) to a versioned, CRC-guarded
+    {!Artifact} keyed by a digest of exactly those inputs, so repeat
+    runs and every stream of a batch skip compilation entirely.
+
+    The artifact payload is an OCaml [Marshal] image.  Everything
+    reachable from a placement is pure data (bit vectors, int arrays,
+    character classes — no closures), and [Marshal] preserves physical
+    sharing, so the hash-consed NBVA mask tables stay shared on disk and
+    after a load.  Guards, in order, at {!lookup}: envelope magic +
+    version + CRC (see {!Artifact}), the OCaml compiler version (Marshal
+    images are not cross-version stable), and the embedded key (catches
+    renamed or colliding files).  Any mismatch is an {!Invalid} — the
+    caller falls back to a cold compile and may overwrite the artifact.
+
+    Lives in the compiler library, below the simulator: callers that key
+    on an architecture pass an opaque [arch_tag] digest. *)
+
+val key : arch_tag:string -> params_tag:string -> sources:string list -> string
+(** Cache key: hex digest over the architecture tag, the compile-params
+    tag and the regex sources (order-sensitive — placements are). *)
+
+val path : dir:string -> key:string -> string
+(** The artifact file backing [key] inside [dir]. *)
+
+val store :
+  dir:string -> key:string -> Mapper.placement -> Compile_error.t list -> (unit, string) result
+(** Persist a placement (creating [dir] when missing); write-temp +
+    rename, so concurrent readers never see a torn artifact.  Errors are
+    returned, not raised — a failed store only loses the warm start. *)
+
+type lookup_result =
+  | Hit of Mapper.placement * Compile_error.t list
+  | Miss  (** No artifact for this key. *)
+  | Invalid of string  (** Artifact rejected; detail says why. *)
+
+val lookup : dir:string -> key:string -> lookup_result

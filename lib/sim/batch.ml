@@ -1,0 +1,181 @@
+(* See batch.mli. *)
+
+type source = { src_name : string; src_open : unit -> Input_stream.t }
+
+let name s = s.src_name
+let of_string ?chunk ~name s = { src_name = name; src_open = (fun () -> Input_stream.of_string ?chunk s) }
+let of_file ?chunk ~name path = { src_name = name; src_open = (fun () -> Input_stream.of_file ?chunk path) }
+
+type stream_report = { bs_name : string; bs_report : Runner.report }
+
+type aggregate = {
+  agg_streams : int;
+  agg_chars : int;
+  agg_cycles : int;
+  agg_reports : int;
+  agg_throughput_gchs : float;
+}
+
+type t = { streams : stream_report array; aggregate : aggregate }
+
+let default_group = 4
+
+(* One member of a task: a stream-clone of the array context plus a
+   chunk cursor over its own view of the input. *)
+type member = {
+  m_stream : int;  (* index into [sources] *)
+  m_exec : Exec.t;
+  m_input : Input_stream.t;
+  mutable m_chunk : string;
+  mutable m_off : int;  (* next unread byte within [m_chunk] *)
+  mutable m_base : int;  (* absolute input offset of [m_chunk]'s start *)
+  m_sinks : Sink.t list;
+  mutable m_cycles : int;
+  mutable m_reports : int;
+}
+
+(* Pull chunks until the cursor has an unread byte; false at end of
+   input (Input_stream chunks are nonempty). *)
+let refill m =
+  if m.m_off < String.length m.m_chunk then true
+  else
+    match Input_stream.next m.m_input with
+    | None -> false
+    | Some chunk ->
+        m.m_base <- m.m_base + String.length m.m_chunk;
+        m.m_chunk <- chunk;
+        m.m_off <- 0;
+        true
+
+(* Lockstep loop over the live members: every pass packs the survivors
+   into one Exec.group (engine-major, so NBVA mask tables are shared
+   across streams in cache) and steps until some member exhausts its
+   current chunk; members that exhaust their stream drop out and the
+   group shrinks.  Per-member event consumption is identical to
+   Runner.run_stream's per-symbol accounting, in symbol order — the
+   per-stream bit-identity contract. *)
+let run_task arch members =
+  let cs = Array.make (Array.length members) '\000' in
+  let syms = Array.make (Array.length members) 0 in
+  let rec loop members =
+    let live = Array.of_list (List.filter refill (Array.to_list members)) in
+    if Array.length live > 0 then begin
+      let grp = Exec.group_of_members (Array.map (fun m -> m.m_exec) live) in
+      let span =
+        Array.fold_left (fun acc m -> min acc (String.length m.m_chunk - m.m_off)) max_int live
+      in
+      for _ = 1 to span do
+        Array.iteri
+          (fun i m ->
+            cs.(i) <- m.m_chunk.[m.m_off];
+            syms.(i) <- m.m_base + m.m_off)
+          live;
+        let evs = Exec.group_step arch grp ~syms cs in
+        Array.iteri
+          (fun i m ->
+            let ev = evs.(i) in
+            m.m_cycles <- m.m_cycles + 1 + ev.Exec.stall;
+            m.m_reports <- m.m_reports + ev.Exec.reports;
+            List.iter (fun (s : Sink.t) -> s.Sink.on_events ev) m.m_sinks;
+            m.m_off <- m.m_off + 1)
+          live
+      done;
+      loop live
+    end
+  in
+  loop members
+
+let run ?(jobs = 1) ?(group = default_group) (arch : Arch.t) ~params (p : Mapper.placement)
+    ~sources =
+  ignore params;
+  let b = Array.length sources in
+  if b = 0 then invalid_arg "Batch.run: no sources";
+  let num_arrays = Array.length p.Mapper.arrays in
+  let group_w = max 1 group in
+  let n_groups = (b + group_w - 1) / group_w in
+  (* per-stream accounting, per-array slots inside — the exact slot
+     structure Runner.run_stream keeps for its one stream.  Sink
+     instantiation happens here on the caller's domain, in stream-major
+     array-minor order, never inside a worker. *)
+  let sinks = Array.init b (fun _ -> Runner.energy_sink arch ~num_arrays) in
+  let insts =
+    Array.init b (fun s ->
+        let spec, _, _ = sinks.(s) in
+        Array.init num_arrays (fun array_id -> spec.Sink.make ~array_id ~chars:0))
+  in
+  let cycles_slots = Array.init b (fun _ -> Array.make num_arrays 0) in
+  let reports_slots = Array.init b (fun _ -> Array.make num_arrays 0) in
+  let chars_slots = Array.make b 0 in
+  (* one compiled template per array; tasks clone it (sharing all
+     compiled structure) instead of rebuilding engines per stream *)
+  let templates = Array.map (fun tiles -> Exec.build p tiles) p.Mapper.arrays in
+  (* the (group x array) task grid, flattened into one work list: each
+     task owns the (stream, array) accounting slots of its members, so
+     any interleaving of tasks produces the same slots — schedules only
+     change wall-clock, never results *)
+  let task idx =
+    let gi = idx / num_arrays and ai = idx mod num_arrays in
+    let lo = gi * group_w in
+    let k = min b (lo + group_w) - lo in
+    let members =
+      Array.init k (fun j ->
+          let s = lo + j in
+          {
+            m_stream = s;
+            m_exec = Exec.clone_fresh templates.(ai);
+            m_input = sources.(s).src_open ();
+            m_chunk = "";
+            m_off = 0;
+            m_base = 0;
+            m_sinks = [ insts.(s).(ai) ];
+            m_cycles = 0;
+            m_reports = 0;
+          })
+    in
+    Fun.protect
+      ~finally:(fun () -> Array.iter (fun m -> Input_stream.close m.m_input) members)
+      (fun () -> run_task arch members);
+    Array.iter
+      (fun m ->
+        cycles_slots.(m.m_stream).(ai) <- m.m_cycles;
+        reports_slots.(m.m_stream).(ai) <- m.m_reports;
+        if ai = 0 then chars_slots.(m.m_stream) <- Input_stream.pos m.m_input)
+      members
+  in
+  Scheduler.parallel_for ~jobs (n_groups * num_arrays) task;
+  let streams =
+    Array.init b (fun s ->
+        let _, ledgers, mode_slots = sinks.(s) in
+        Array.iteri
+          (fun ai inst -> inst.Sink.on_close ~cycles:cycles_slots.(s).(ai))
+          insts.(s);
+        let report =
+          Runner.assemble_report arch p ~chars:chars_slots.(s) ~cycles_slots:cycles_slots.(s)
+            ~reports_slots:reports_slots.(s) ~ledgers ~mode_slots ~execs:templates ~degraded:[]
+        in
+        { bs_name = sources.(s).src_name; bs_report = report })
+  in
+  let agg_chars = Array.fold_left (fun acc r -> acc + r.bs_report.Runner.chars) 0 streams in
+  let agg_cycles =
+    Array.fold_left (fun acc r -> max acc r.bs_report.Runner.cycles) 0 streams
+  in
+  let agg_reports =
+    Array.fold_left (fun acc r -> acc + r.bs_report.Runner.match_reports) 0 streams
+  in
+  let agg_cycles = max 1 agg_cycles in
+  {
+    streams;
+    aggregate =
+      {
+        agg_streams = b;
+        agg_chars;
+        agg_cycles;
+        agg_reports;
+        agg_throughput_gchs =
+          float_of_int agg_chars *. arch.Arch.clock_ghz /. float_of_int agg_cycles;
+      };
+  }
+
+let pp_aggregate fmt a =
+  Format.fprintf fmt "@[batch: %d streams, %d chars in %d cycles, %.2f Gch/s aggregate, %d reports@]"
+    a.agg_streams a.agg_chars a.agg_cycles a.agg_throughput_gchs a.agg_reports

@@ -1,17 +1,12 @@
 (* See checkpoint.mli.
 
-   On-disk layout (all integers little-endian):
-
-     "RAPCKPT"  7-byte magic
-     version    1 byte (currently 1)
-     crc32      4 bytes, over the payload only
-     length     8 bytes, payload byte count
-     payload    length bytes
-
-   Payload: fingerprint (string), symbols (i64), degraded list, then per
+   On-disk layout: the shared Artifact envelope (magic "RAPCKPT",
+   version 1, CRC-32, payload length — see artifact.mli) around this
+   payload: fingerprint (string), symbols (i64), degraded list, then per
    array: cycles/reports (i64), energy by category (f64s), mode energy
    (f64s), and each engine snapshot as width-prefixed bit-vector bytes
-   (see Bitvec.to_bytes).  Strings and arrays are length-prefixed. *)
+   (see Bitvec.to_bytes).  Strings and arrays are length-prefixed,
+   integers little-endian. *)
 
 let magic = "RAPCKPT"
 let version = 1
@@ -36,23 +31,6 @@ type config = { dir : string; every : int }
 let default_every = 1 lsl 20
 let state_path ~dir = Filename.concat dir "state.ckpt"
 let journal_path ~dir = Filename.concat dir "journal.log"
-
-(* ---- CRC-32 (reflected, poly 0xEDB88320 — the zlib/POSIX cksum one) ---- *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
-  !c lxor 0xFFFFFFFF
 
 (* ---- primitive writers ---- *)
 
@@ -238,60 +216,20 @@ let ensure_dir dir =
 
 let save ~dir ck =
   ensure_dir dir;
-  let payload = encode ck in
-  let header = Buffer.create 20 in
-  Buffer.add_string header magic;
-  w_u8 header version;
-  w_u32 header (crc32 payload);
-  w_i64 header (String.length payload);
   let path = state_path ~dir in
-  let tmp = path ^ ".tmp" in
-  (try
-     let oc = open_out_bin tmp in
-     Fun.protect
-       ~finally:(fun () -> close_out_noerr oc)
-       (fun () ->
-         output_string oc (Buffer.contents header);
-         output_string oc payload)
-   with Sys_error msg -> fs_fail (Printf.sprintf "cannot write checkpoint %S: %s" tmp msg));
-  (* the rename is the commit point: readers only ever see the previous
-     complete checkpoint or this one, never a torn write *)
-  try Sys.rename tmp path
-  with Sys_error msg -> fs_fail (Printf.sprintf "cannot commit checkpoint %S: %s" path msg)
+  try Artifact.save ~path ~magic ~version (encode ck)
+  with Sys_error msg -> fs_fail (Printf.sprintf "cannot write checkpoint %S: %s" path msg)
 
 let load ~dir =
   let path = state_path ~dir in
-  if not (Sys.file_exists path) then Ok None
-  else begin
-    let corrupt detail = Error (Sim_error.Checkpoint_corrupt { path; detail }) in
-    match
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    with
-    | exception Sys_error msg -> corrupt ("unreadable: " ^ msg)
-    | raw ->
-        let header_len = String.length magic + 1 + 4 + 8 in
-        if String.length raw < header_len then corrupt "shorter than the header"
-        else if String.sub raw 0 (String.length magic) <> magic then corrupt "bad magic"
-        else begin
-          let cur = { data = raw; at = String.length magic } in
-          match
-            let v = r_u8 cur in
-            if v <> version then raise (Corrupt (Printf.sprintf "unsupported version %d" v));
-            let crc = r_u32 cur in
-            let len = r_i64 cur in
-            if len < 0 || cur.at + len <> String.length raw then
-              raise (Corrupt "payload length mismatch");
-            let payload = String.sub raw cur.at len in
-            if crc32 payload <> crc then raise (Corrupt "CRC mismatch");
-            decode payload
-          with
-          | ck -> Ok (Some ck)
-          | exception Corrupt detail -> corrupt detail
-        end
-  end
+  let corrupt detail = Error (Sim_error.Checkpoint_corrupt { path; detail }) in
+  match Artifact.load ~path ~magic ~version with
+  | Ok None -> Ok None
+  | Error detail -> corrupt detail
+  | Ok (Some payload) -> (
+      match decode payload with
+      | ck -> Ok (Some ck)
+      | exception Corrupt detail -> corrupt detail)
 
 let journal ~dir line =
   try

@@ -101,10 +101,14 @@ let make_nfa_engine ~ast (u : Program.nfa_unit) =
     n_stats = stats_create ntiles;
   }
 
-let nfa_step (e : nfa_engine) c =
+(* Projection: refresh the stats record from the executor's post-step
+   state.  Split from the automaton advance so batched stepping can
+   advance K stream-clones phase-major ({!Nbva.step_multi}) and then
+   project each one — the projection reads only this engine's state, so
+   it is the same computation either way. *)
+let nfa_project (e : nfa_engine) =
   let s = e.n_stats in
   stats_reset s;
-  ignore (Nbva.step_selected e.exec e.exec_st c);
   let act = Nbva.outputs e.exec_st and vecs = Nbva.vectors e.exec_st in
   (* Plain activity per tile: one mask AND + popcount per tile *)
   for t = 0 to Array.length s.active - 1 do
@@ -133,6 +137,10 @@ let nfa_step (e : nfa_engine) c =
       if fired then s.cross <- s.cross + 1)
     e.cross_sources;
   s.reports <- Nbva.reports e.exec e.exec_st
+
+let nfa_step (e : nfa_engine) c =
+  ignore (Nbva.step_selected e.exec e.exec_st c);
+  nfa_project e
 
 (* ------------------------------------------------------------------ *)
 (* NBVA units: direct execution with tile projection.                  *)
@@ -197,11 +205,10 @@ let make_nbva_engine (nu : Program.nbva_unit) =
     nb_stats = stats_create ntiles;
   }
 
-let nbva_step (e : nbva_engine) c =
+let nbva_project (e : nbva_engine) =
   let s = e.nb_stats in
   stats_reset s;
   let nbva = e.nu.Program.nbva in
-  ignore (Nbva.step_selected nbva e.nb_st c);
   let act = Nbva.outputs e.nb_st and vecs = Nbva.vectors e.nb_st in
   for t = 0 to Array.length s.active - 1 do
     s.active.(t) <- Bitvec.popcount_and act e.nb_tile_masks.(t)
@@ -221,6 +228,10 @@ let nbva_step (e : nbva_engine) c =
     (fun p -> if Bitvec.get act p then s.cross <- s.cross + 1)
     e.nb_cross_sources;
   s.reports <- Nbva.reports nbva e.nb_st
+
+let nbva_step (e : nbva_engine) c =
+  ignore (Nbva.step_selected e.nu.Program.nbva e.nb_st c);
+  nbva_project e
 
 (* ------------------------------------------------------------------ *)
 (* LNFA bins: Shift-And over the packed bin, regions mapped to tiles.   *)
@@ -327,6 +338,89 @@ let step t c =
   | E_nbva e -> nbva_step e c
   | E_bin e -> bin_step e c);
   stats_of t
+
+(* ------------------------------------------------------------------ *)
+(* Stream clones and packed multi-stream slots.  A clone shares every
+   immutable compiled structure (automata, exec plans, tile masks, cross
+   lists — all read-only after construction) and gets fresh run state and
+   a fresh stats record, so B streams against one placement pay the
+   compilation once.  [multi] packs the K clones of one engine so a
+   single call advances all of them; NBVA-backed engines go through the
+   phase-major {!Nbva.step_multi} kernel, sharing the per-byte labels
+   table and successor masks across streams in cache. *)
+
+let clone_fresh = function
+  | E_nfa e ->
+      E_nfa
+        { e with exec_st = Nbva.start e.exec; n_stats = stats_create (Array.length e.n_stats.active) }
+  | E_nbva e ->
+      E_nbva
+        {
+          e with
+          nb_st = Nbva.start e.nu.Program.nbva;
+          nb_stats = stats_create (Array.length e.nb_stats.active);
+        }
+  | E_bin e ->
+      E_bin { e with sa_st = Shift_and.start e.sa; b_stats = stats_create e.bin.Binning.tiles }
+
+type multi =
+  | Mu_nfa of { m_exec : Nbva.t; m_engs : nfa_engine array; m_sts : Nbva.run_state array; m_hits : bool array }
+  | Mu_nbva of { m_nbva : Nbva.t; m_engs : nbva_engine array; m_sts : Nbva.run_state array; m_hits : bool array }
+  | Mu_bin of bin_engine array
+
+let multi_mismatch () = invalid_arg "Engine.multi: engines are not clones of one template"
+
+let multi es =
+  let k = Array.length es in
+  if k = 0 then invalid_arg "Engine.multi: empty slot";
+  match es.(0) with
+  | E_nfa e0 ->
+      let engs =
+        Array.map (function E_nfa e -> if e.exec != e0.exec then multi_mismatch (); e | _ -> multi_mismatch ()) es
+      in
+      Mu_nfa
+        {
+          m_exec = e0.exec;
+          m_engs = engs;
+          m_sts = Array.map (fun (e : nfa_engine) -> e.exec_st) engs;
+          m_hits = Array.make k false;
+        }
+  | E_nbva e0 ->
+      let engs =
+        Array.map
+          (function
+            | E_nbva e -> if e.nu.Program.nbva != e0.nu.Program.nbva then multi_mismatch (); e
+            | _ -> multi_mismatch ())
+          es
+      in
+      Mu_nbva
+        {
+          m_nbva = e0.nu.Program.nbva;
+          m_engs = engs;
+          m_sts = Array.map (fun (e : nbva_engine) -> e.nb_st) engs;
+          m_hits = Array.make k false;
+        }
+  | E_bin e0 ->
+      Mu_bin
+        (Array.map
+           (function E_bin e -> if e.sa != e0.sa then multi_mismatch (); e | _ -> multi_mismatch ())
+           es)
+
+(* Bit-identity: [step_multi] leaves each stream's state exactly as a
+   per-stream [step] would, and the projections read only their own
+   engine — so after [multi_step m cs], [events es.(i)] is what
+   [step es.(i) cs.(i)] would have returned, for every i.  Shift-And
+   bins have no batched kernel (their state is one packed vector, no
+   shared mask tables to amortize) and simply step in stream order. *)
+let multi_step m cs =
+  match m with
+  | Mu_nfa { m_exec; m_engs; m_sts; m_hits } ->
+      Nbva.step_multi_selected m_exec m_sts cs m_hits;
+      Array.iter nfa_project m_engs
+  | Mu_nbva { m_nbva; m_engs; m_sts; m_hits } ->
+      Nbva.step_multi_selected m_nbva m_sts cs m_hits;
+      Array.iter nbva_project m_engs
+  | Mu_bin engs -> Array.iteri (fun i e -> bin_step e cs.(i)) engs
 
 let tile_static_cols t i =
   match t with

@@ -59,6 +59,36 @@ val events : t -> events
 (** The engine's event record — physically the same record every {!step}
     returns.  Meaningful only after a [step]. *)
 
+(** {1 Stream clones and batched stepping}
+
+    One compiled placement can serve many independent input streams:
+    a clone shares every immutable compiled structure (automata, mask
+    tables, tile maps) with its template and carries fresh run state and
+    statistics, so B streams pay compilation once.  Clones of one
+    template can then be packed into a {!multi} slot and advanced
+    together — NBVA-backed engines go through the phase-major
+    {!Nbva.step_multi} kernel, which shares the per-byte labels table
+    and successor-mask unions across streams in cache. *)
+
+val clone_fresh : t -> t
+(** A fresh-state clone: same compiled automaton and tile projection
+    (physically shared), run state and event record reset to the start
+    of input. *)
+
+type multi
+(** K clones of one engine, packed for batched stepping. *)
+
+val multi : t array -> multi
+(** Pack clones of one template (see {!clone_fresh}); raises
+    [Invalid_argument] when the engines do not share one compiled
+    automaton or the array is empty. *)
+
+val multi_step : multi -> char array -> unit
+(** [multi_step m cs] advances clone [i] by symbol [cs.(i)] for every
+    [i]; [cs] may be longer than the slot.  Afterwards [events] of
+    clone [i] holds exactly what [step clone_i cs.(i)] would have
+    produced — batched stepping is bit-identical per stream. *)
+
 (** {1 Static per-tile facts} *)
 
 val tile_static_cols : t -> int -> int

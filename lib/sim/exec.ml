@@ -87,12 +87,18 @@ type array_events = {
   bv_phases : bv_phase list;
 }
 
-let step (arch : Arch.t) t ~sym c =
+(* Assembly reads only the engines' refreshed event records ([step]
+   returns the same physical records held in [last_events]), so it is
+   split from the advance: single-stream [step] advances this context's
+   engines and assembles; [group_step] advances K stream-clones
+   phase-major and assembles each member with the same code — the
+   per-stream [array_events] values are identical either way. *)
+let assemble (arch : Arch.t) t ~sym c =
   let cross = ref 0 and reports = ref 0 and stall = ref 0 in
   let phases = ref [] in
   Array.iter
     (fun e ->
-      let ev = Engine.step e c in
+      let ev = Engine.events e in
       (if arch.Arch.supports_nbva then
          for lt = 0 to Array.length ev.Engine.triggered - 1 do
            if ev.Engine.triggered.(lt) then begin
@@ -151,3 +157,45 @@ let step (arch : Arch.t) t ~sym c =
     tiles;
     bv_phases = List.rev !phases;
   }
+
+let step arch t ~sym c =
+  Array.iter (fun e -> ignore (Engine.step e c)) t.engines;
+  assemble arch t ~sym c
+
+(* ------------------------------------------------------------------ *)
+(* Stream groups: K fresh-state clones of one array context, stepped in
+   lockstep.  All compiled structure (engines' automata and masks, the
+   tile resolution) is shared with the template; only run state and
+   event records are per-clone. *)
+
+let clone_fresh t =
+  let engines = Array.map Engine.clone_fresh t.engines in
+  {
+    engines;
+    last_events = Array.map Engine.events engines;
+    tile_pieces = t.tile_pieces;
+    tile_modes = t.tile_modes;
+  }
+
+type group = {
+  g_members : t array;
+  g_multis : Engine.multi array;  (* per engine slot, across members *)
+}
+
+let group_of_members members =
+  let k = Array.length members in
+  if k = 0 then invalid_arg "Exec.group_of_members: empty group";
+  let n_eng = Array.length members.(0).engines in
+  if not (Array.for_all (fun m -> Array.length m.engines = n_eng) members) then
+    invalid_arg "Exec.group_of_members: members are not clones of one context";
+  {
+    g_members = members;
+    g_multis = Array.init n_eng (fun j -> Engine.multi (Array.map (fun m -> m.engines.(j)) members));
+  }
+
+let group t k = group_of_members (Array.init k (fun _ -> clone_fresh t))
+let members g = g.g_members
+
+let group_step arch g ~syms cs =
+  Array.iter (fun m -> Engine.multi_step m cs) g.g_multis;
+  Array.mapi (fun i t -> assemble arch t ~sym:syms.(i) cs.(i)) g.g_members

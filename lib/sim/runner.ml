@@ -26,7 +26,14 @@ let energy_efficiency_gchs_per_w r =
 let compute_density_gchs_per_mm2 r =
   if r.area_mm2 <= 0. then 0. else r.throughput_gchs /. r.area_mm2
 
+(* Cold-compile probe: bumped once per [compile_for] call.  The bench
+   harness reads it around warm-cache runs to prove the cache actually
+   skipped compilation (a wall-clock win alone could be noise). *)
+let compile_counter = Atomic.make 0
+let compile_count () = Atomic.get compile_counter
+
 let compile_for (arch : Arch.t) ~params regexes =
+  Atomic.incr compile_counter;
   let compiled = ref [] and errors = ref [] in
   let push source r = compiled := { r with Program.source } :: !compiled in
   let fail source reason = errors := Compile_error.v source reason :: !errors in
@@ -81,6 +88,44 @@ let place (arch : Arch.t) ~params compiled =
 let place_result ?defects (arch : Arch.t) ~params compiled =
   let tile_cols = arch.Arch.tile_stes in
   Mapper.map_units_result ?defects ~tile_cols ~params (Array.of_list compiled)
+
+(* Cache keying: the compiled placement is pure in (arch, params,
+   sources), and both descriptor types are plain data, so a digest of
+   their Marshal images is a sound identity.  Program_cache lives below
+   Arch in the library stack and only ever sees these opaque tags. *)
+let arch_tag (arch : Arch.t) = Digest.to_hex (Digest.string (Marshal.to_string arch []))
+
+let params_tag (params : Program.params) =
+  Digest.to_hex (Digest.string (Marshal.to_string params []))
+
+type cache_status = Cache_off | Cache_hit | Cache_miss | Cache_invalid of string
+
+let prepare ?cache_dir (arch : Arch.t) ~params regexes =
+  let cold () =
+    let compiled, errors = compile_for arch ~params regexes in
+    (place arch ~params compiled, errors)
+  in
+  match cache_dir with
+  | None ->
+      let placement, errors = cold () in
+      (placement, errors, Cache_off)
+  | Some dir ->
+      let key =
+        Program_cache.key ~arch_tag:(arch_tag arch) ~params_tag:(params_tag params)
+          ~sources:(List.map fst regexes)
+      in
+      let miss status =
+        let placement, errors = cold () in
+        (* a failed store only loses the warm start; say so and move on *)
+        (match Program_cache.store ~dir ~key placement errors with
+        | Ok () -> ()
+        | Error msg -> Logs.warn (fun m -> m "placement cache store failed: %s" msg));
+        (placement, errors, status)
+      in
+      (match Program_cache.lookup ~dir ~key with
+      | Program_cache.Hit (placement, errors) -> (placement, errors, Cache_hit)
+      | Program_cache.Miss -> miss Cache_miss
+      | Program_cache.Invalid detail -> miss (Cache_invalid detail))
 
 (* A checkpoint must refuse to restore into a different placement: the
    engine-state vectors would silently mean different automata.  The
@@ -150,6 +195,104 @@ let ledger_values l = Array.of_list (List.map (Energy.get_pj l) Energy.all_categ
 let ledger_restore l vals =
   Energy.reset l;
   List.iteri (fun i c -> Energy.add l c vals.(i)) Energy.all_categories
+
+(* Final report assembly from the per-array accumulator slots.  Shared
+   verbatim by the single-stream driver and the batch layer: a batched
+   stream's report is this exact computation over that stream's slots,
+   which is half of the bit-identity contract (the other half being the
+   bit-identical event stream feeding the slots). *)
+let assemble_report (arch : Arch.t) (p : Mapper.placement) ~chars ~cycles_slots ~reports_slots
+    ~ledgers ~mode_slots ~execs ~degraded =
+  let num_arrays = Array.length p.Mapper.arrays in
+  let details =
+    Array.init num_arrays (fun i ->
+        {
+          a_cycles = cycles_slots.(i);
+          a_tiles = Array.length p.Mapper.arrays.(i);
+          a_has_nbva = Array.exists (fun m -> m = Engine.M_nbva) (Exec.tile_modes execs.(i));
+        })
+  in
+  (* deterministic merge, array-index order *)
+  let ledger = Energy.create () in
+  Array.iter (fun l -> Energy.merge_into ~dst:ledger l) ledgers;
+  let mode_pj = Array.make Cost.num_modes 0. in
+  Array.iter
+    (fun slot -> Array.iteri (fun m pj -> mode_pj.(m) <- mode_pj.(m) +. pj) slot)
+    mode_slots;
+  let total_reports = Array.fold_left ( + ) 0 reports_slots in
+  let max_cycles = Array.fold_left (fun acc d -> max acc d.a_cycles) 0 details in
+  let mstats = Mapper.stats p in
+  let tile_area = arch.Arch.tile_area_um2 +. arch.Arch.bvm_area_um2 in
+  let area_um2 =
+    (float_of_int mstats.Mapper.num_tiles *. tile_area)
+    +. (float_of_int mstats.Mapper.num_arrays *. Circuit.array_overhead_um2)
+  in
+  (* attribute area to modes by tile counts *)
+  let mode_tiles = [| 0; 0; 0 |] in
+  Array.iter
+    (fun tiles ->
+      Array.iter
+        (fun (t : Mapper.placed_tile) ->
+          let m =
+            match t.Mapper.mode with
+            | Mapper.T_nfa -> 0
+            | Mapper.T_nbva -> 1
+            | Mapper.T_lnfa -> 2
+          in
+          mode_tiles.(m) <- mode_tiles.(m) + 1)
+        tiles)
+    p.Mapper.arrays;
+  let mode_area =
+    let per_tile =
+      if mstats.Mapper.num_tiles = 0 then 0.
+      else area_um2 /. float_of_int mstats.Mapper.num_tiles
+    in
+    [
+      (Engine.M_nfa, float_of_int mode_tiles.(0) *. per_tile);
+      (Engine.M_nbva, float_of_int mode_tiles.(1) *. per_tile);
+      (Engine.M_lnfa, float_of_int mode_tiles.(2) *. per_tile);
+    ]
+  in
+  let mode_states =
+    let acc = [| 0; 0; 0 |] in
+    Array.iter
+      (fun (c : Program.compiled) ->
+        let m =
+          match c.Program.kind with
+          | Program.U_nfa _ -> 0
+          | Program.U_nbva _ -> 1
+          | Program.U_lnfa _ -> 2
+        in
+        acc.(m) <- acc.(m) + Program.num_states c.Program.kind)
+      p.Mapper.units;
+    [ (Engine.M_nfa, acc.(0)); (Engine.M_nbva, acc.(1)); (Engine.M_lnfa, acc.(2)) ]
+  in
+  let cycles = max 1 max_cycles in
+  let throughput = float_of_int chars *. arch.Arch.clock_ghz /. float_of_int cycles in
+  let energy_pj = Energy.total_pj ledger in
+  let time_ns = float_of_int cycles /. arch.Arch.clock_ghz in
+  let power_w = if time_ns > 0. then energy_pj /. time_ns /. 1000. else 0. in
+  {
+    arch = arch.Arch.kind;
+    chars;
+    cycles;
+    arrays_detail = details;
+    match_reports = total_reports;
+    energy = ledger;
+    area_mm2 = area_um2 /. 1e6;
+    throughput_gchs = throughput;
+    power_w;
+    num_arrays = mstats.Mapper.num_arrays;
+    num_tiles = mstats.Mapper.num_tiles;
+    num_states =
+      Array.fold_left (fun acc c -> acc + Program.num_states c.Program.kind) 0 p.Mapper.units;
+    mode_energy_pj =
+      [ (Engine.M_nfa, mode_pj.(0)); (Engine.M_nbva, mode_pj.(1)); (Engine.M_lnfa, mode_pj.(2)) ];
+    mode_area_um2 = mode_area;
+    mode_states;
+    mapper_stats = mstats;
+    degraded;
+  }
 
 type rollback = {
   rb_engines : Engine.snapshot array;
@@ -337,95 +480,8 @@ let run_stream ?(jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false) (
     (fun i il ->
       List.iter (fun (s : Sink.t) -> s.Sink.on_close ~cycles:cycles_slots.(i)) il)
     insts;
-  let details =
-    Array.init num_arrays (fun i ->
-        {
-          a_cycles = cycles_slots.(i);
-          a_tiles = Array.length p.Mapper.arrays.(i);
-          a_has_nbva = Array.exists (fun m -> m = Engine.M_nbva) (Exec.tile_modes execs.(i));
-        })
-  in
-  (* deterministic merge, array-index order *)
-  let ledger = Energy.create () in
-  Array.iter (fun l -> Energy.merge_into ~dst:ledger l) ledgers;
-  let mode_pj = Array.make Cost.num_modes 0. in
-  Array.iter
-    (fun slot -> Array.iteri (fun m pj -> mode_pj.(m) <- mode_pj.(m) +. pj) slot)
-    mode_slots;
-  let total_reports = Array.fold_left ( + ) 0 reports_slots in
-  let max_cycles = Array.fold_left (fun acc d -> max acc d.a_cycles) 0 details in
-  let mstats = Mapper.stats p in
-  let tile_area = arch.Arch.tile_area_um2 +. arch.Arch.bvm_area_um2 in
-  let area_um2 =
-    (float_of_int mstats.Mapper.num_tiles *. tile_area)
-    +. (float_of_int mstats.Mapper.num_arrays *. Circuit.array_overhead_um2)
-  in
-  (* attribute area to modes by tile counts *)
-  let mode_tiles = [| 0; 0; 0 |] in
-  Array.iter
-    (fun tiles ->
-      Array.iter
-        (fun (t : Mapper.placed_tile) ->
-          let m =
-            match t.Mapper.mode with
-            | Mapper.T_nfa -> 0
-            | Mapper.T_nbva -> 1
-            | Mapper.T_lnfa -> 2
-          in
-          mode_tiles.(m) <- mode_tiles.(m) + 1)
-        tiles)
-    p.Mapper.arrays;
-  let mode_area =
-    let per_tile =
-      if mstats.Mapper.num_tiles = 0 then 0.
-      else area_um2 /. float_of_int mstats.Mapper.num_tiles
-    in
-    [
-      (Engine.M_nfa, float_of_int mode_tiles.(0) *. per_tile);
-      (Engine.M_nbva, float_of_int mode_tiles.(1) *. per_tile);
-      (Engine.M_lnfa, float_of_int mode_tiles.(2) *. per_tile);
-    ]
-  in
-  let mode_states =
-    let acc = [| 0; 0; 0 |] in
-    Array.iter
-      (fun (c : Program.compiled) ->
-        let m =
-          match c.Program.kind with
-          | Program.U_nfa _ -> 0
-          | Program.U_nbva _ -> 1
-          | Program.U_lnfa _ -> 2
-        in
-        acc.(m) <- acc.(m) + Program.num_states c.Program.kind)
-      p.Mapper.units;
-    [ (Engine.M_nfa, acc.(0)); (Engine.M_nbva, acc.(1)); (Engine.M_lnfa, acc.(2)) ]
-  in
-  let cycles = max 1 max_cycles in
-  let throughput = float_of_int chars *. arch.Arch.clock_ghz /. float_of_int cycles in
-  let energy_pj = Energy.total_pj ledger in
-  let time_ns = float_of_int cycles /. arch.Arch.clock_ghz in
-  let power_w = if time_ns > 0. then energy_pj /. time_ns /. 1000. else 0. in
-  {
-    arch = arch.Arch.kind;
-    chars;
-    cycles;
-    arrays_detail = details;
-    match_reports = total_reports;
-    energy = ledger;
-    area_mm2 = area_um2 /. 1e6;
-    throughput_gchs = throughput;
-    power_w;
-    num_arrays = mstats.Mapper.num_arrays;
-    num_tiles = mstats.Mapper.num_tiles;
-    num_states =
-      Array.fold_left (fun acc c -> acc + Program.num_states c.Program.kind) 0 p.Mapper.units;
-    mode_energy_pj =
-      [ (Engine.M_nfa, mode_pj.(0)); (Engine.M_nbva, mode_pj.(1)); (Engine.M_lnfa, mode_pj.(2)) ];
-    mode_area_um2 = mode_area;
-    mode_states;
-    mapper_stats = mstats;
-    degraded = List.rev !degraded;
-  }
+  assemble_report arch p ~chars ~cycles_slots ~reports_slots ~ledgers ~mode_slots ~execs
+    ~degraded:(List.rev !degraded)
 
 (* One chunk spanning the whole string keeps the historical array-major
    symbol order at [jobs = 1], which shared-RNG fault sinks depend on. *)

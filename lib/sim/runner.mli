@@ -61,10 +61,68 @@ val place_result :
   Mapper.placement * Compile_error.t list * Mapper.defect_stats
 (** Defect-aware {!place}: see {!Mapper.map_units_result}. *)
 
+val compile_count : unit -> int
+(** Process-wide count of {!compile_for} invocations — the probe the
+    bench harness reads around warm-cache runs to prove that a cache hit
+    actually skipped compilation. *)
+
+val arch_tag : Arch.t -> string
+(** Opaque digest of an architecture descriptor, for {!Program_cache}
+    keying (the cache lives below [Arch] in the library stack). *)
+
+val params_tag : Program.params -> string
+
+type cache_status =
+  | Cache_off  (** No cache directory given. *)
+  | Cache_hit  (** Placement loaded from the cache; compilation skipped. *)
+  | Cache_miss  (** No artifact yet; compiled cold and stored. *)
+  | Cache_invalid of string
+      (** Artifact rejected (corrupt, wrong version, key mismatch);
+          compiled cold and overwrote it. *)
+
+val prepare :
+  ?cache_dir:string ->
+  Arch.t ->
+  params:Program.params ->
+  (string * Ast.t) list ->
+  Mapper.placement * Compile_error.t list * cache_status
+(** {!compile_for} + {!place}, optionally through the compiled-placement
+    cache: with [cache_dir], a valid cached artifact for this
+    (arch, params, sources) key is loaded instead of compiling — along
+    with the compile errors recorded when it was built — and any miss or
+    rejection falls back to a cold compile whose result is stored for
+    next time.  A placement loaded from cache is indistinguishable from
+    a cold-compiled one (same masks, same fingerprint). *)
+
 val fingerprint : Mapper.placement -> string
 (** Digest of everything the run state depends on: unit sources, their
     compiled sizes and the exact tile floorplan.  A checkpoint written
     under one fingerprint refuses to restore under another. *)
+
+(** {1 Accounting building blocks}
+
+    Shared with the batch layer ({!Batch}), which must reproduce the
+    single-stream accounting bit for bit: same energy sink (same
+    float-accumulation order), same report assembly. *)
+
+val energy_sink : Arch.t -> num_arrays:int -> Sink.spec * Energy.t array * float array array
+(** The built-in energy/timing accounting as a sink spec plus its
+    per-array ledgers and per-array mode-energy slots (merged in array
+    order by {!assemble_report}). *)
+
+val assemble_report :
+  Arch.t ->
+  Mapper.placement ->
+  chars:int ->
+  cycles_slots:int array ->
+  reports_slots:int array ->
+  ledgers:Energy.t array ->
+  mode_slots:float array array ->
+  execs:Exec.t array ->
+  degraded:Sim_error.t list ->
+  report
+(** Fold the per-array accumulator slots into a {!report} — exactly the
+    computation {!run_stream} performs at end of input. *)
 
 val run_stream :
   ?jobs:int ->

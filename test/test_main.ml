@@ -15,6 +15,9 @@ let () =
       ("sim", Test_sim.suite);
       ("exec", Test_exec.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("batch", Test_batch.suite);
+      ("cache", Test_cache.suite);
+      ("stream", Test_stream.suite);
       ("fault", Test_fault.suite);
       ("workloads", Test_workloads.suite);
       ("api", Test_api.suite);

@@ -1,0 +1,142 @@
+(* Input_stream edge cases: file, string and stdin transports must be
+   indistinguishable to the simulator — same chunks, same reports — in
+   the corner configurations (empty input, chunk equal to the input
+   length, chunk exceeding it). *)
+
+open Alcotest
+
+let params = Program.default_params
+let parse = Parser.parse_exn
+let rap = Arch.rap ~bv_depth:params.Program.bv_depth
+let rules = [ "ab{3,10}c"; "x[yz]{3,9}w" ]
+
+let placement () =
+  let units, errs = Runner.compile_for rap ~params (List.map (fun s -> (s, parse s)) rules) in
+  check int "rules compile" 0 (List.length errs);
+  Runner.place rap ~params units
+
+let temp_input =
+  let counter = ref 0 in
+  fun contents ->
+    incr counter;
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rap-stream-test-%d-%d.in" (Unix.getpid ()) !counter)
+    in
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc;
+    path
+
+let check_reports_equal label (a : Runner.report) (b : Runner.report) =
+  check int (label ^ ": chars") a.Runner.chars b.Runner.chars;
+  check int (label ^ ": cycles") a.Runner.cycles b.Runner.cycles;
+  check int (label ^ ": reports") a.Runner.match_reports b.Runner.match_reports;
+  List.iter
+    (fun cat ->
+      check (float 0.)
+        (label ^ ": " ^ Energy.category_name cat)
+        (Energy.get_pj a.Runner.energy cat)
+        (Energy.get_pj b.Runner.energy cat))
+    Energy.all_categories
+
+let run_stream p stream = Runner.run_stream rap ~params p ~stream
+
+(* Feed [contents] to a function through this process's real stdin, via
+   a temp file dup2'd over fd 0 — exactly what `rap simulate` with no
+   input argument sees. *)
+let with_stdin contents f =
+  let path = temp_input contents in
+  let saved = Unix.dup Unix.stdin in
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Unix.dup2 fd Unix.stdin;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.dup2 saved Unix.stdin;
+      Unix.close saved;
+      Sys.remove path)
+    f
+
+let contents_cases =
+  [
+    ("empty", "");
+    ("one byte", "a");
+    ("matchy", String.concat "" (List.init 50 (fun _ -> "abbbc xyzzw ")));
+  ]
+
+let chunk_cases contents =
+  let n = String.length contents in
+  List.sort_uniq compare [ 1; max 1 (n / 3); max 1 n (* chunk == length *); n + 7 (* chunk > length *) ]
+
+let test_file_equals_string () =
+  let p = placement () in
+  List.iter
+    (fun (label, contents) ->
+      let reference = run_stream p (Input_stream.of_string contents) in
+      List.iter
+        (fun chunk ->
+          let path = temp_input contents in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              check_reports_equal
+                (Printf.sprintf "file %s chunk=%d" label chunk)
+                reference
+                (run_stream p (Input_stream.of_file ~chunk path)));
+          check_reports_equal
+            (Printf.sprintf "string %s chunk" label)
+            reference
+            (run_stream p (Input_stream.of_string ~chunk:(max 1 chunk) contents)))
+        (chunk_cases contents))
+    contents_cases
+
+let test_stdin_equals_string () =
+  let p = placement () in
+  List.iter
+    (fun (label, contents) ->
+      let reference = run_stream p (Input_stream.of_string contents) in
+      List.iter
+        (fun chunk ->
+          with_stdin contents (fun () ->
+              check_reports_equal
+                (Printf.sprintf "stdin %s chunk=%d" label chunk)
+                reference
+                (run_stream p (Input_stream.of_stdin ~chunk ()))))
+        (chunk_cases contents))
+    contents_cases
+
+let test_empty_file_stream_shape () =
+  let path = temp_input "" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = Input_stream.of_file path in
+      check (option int) "length 0" (Some 0) (Input_stream.length s);
+      check (option string) "no chunks" None (Input_stream.next s);
+      check int "pos stays 0" 0 (Input_stream.pos s);
+      Input_stream.close s)
+
+let test_oversized_chunk_single_delivery () =
+  (* chunk > input: exactly one chunk, the whole input *)
+  let contents = "abbbc!" in
+  let path = temp_input contents in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = Input_stream.of_file ~chunk:(String.length contents * 10) path in
+      check (option string) "whole input at once" (Some contents) (Input_stream.next s);
+      check (option string) "then exhausted" None (Input_stream.next s);
+      Input_stream.close s);
+  let s = Input_stream.of_string ~chunk:(String.length contents) contents in
+  check (option string) "chunk == length: one chunk" (Some contents) (Input_stream.next s);
+  check (option string) "then exhausted" None (Input_stream.next s)
+
+let suite =
+  [
+    test_case "file stream == string stream (edge chunks)" `Quick test_file_equals_string;
+    test_case "stdin stream == string stream (edge chunks)" `Quick test_stdin_equals_string;
+    test_case "empty file delivers no chunks" `Quick test_empty_file_stream_shape;
+    test_case "chunk >= input delivers once" `Quick test_oversized_chunk_single_delivery;
+  ]
