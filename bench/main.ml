@@ -247,6 +247,108 @@ let stream_scaling env ~jobs =
   in
   (rows, compiles_cold, compiles_warm, warm_hit)
 
+(* Service SLO sweep: drive the daemon's admission layer in-process with
+   arrivals offered at multiples of the measured sustainable rate, and
+   record the latency distribution (p50/p95/p99 per stream class) plus
+   the shed rate per factor.  Arrivals are modelled instants passed as
+   [enqueued_at] while execution runs in real time, so queue buildup at
+   overload — and the typed shedding it must trigger — emerges from the
+   actual admission machinery, not from a simulated queue.  Accepted
+   requests' reports must stay bit-identical to a solo [Runner.run]
+   whatever was shed around them. *)
+let service_slo env =
+  let params = Program.default_params in
+  let arch = Rap.rap_arch () in
+  let s = Benchmarks.by_name ~scale:env.Experiments.scale "Snort" in
+  let input = s.Benchmarks.make_input ~chars:(min env.Experiments.chars 4_000) in
+  let units, _ = Runner.compile_for arch ~params s.Benchmarks.regexes in
+  let placement = Runner.place arch ~params units in
+  let solo = Runner.run ~jobs:1 arch ~params placement ~input in
+  (* calibration: one request's solo service time bounds the sustainable
+     rate (batching only improves on it) *)
+  let _, service_s = time (fun () -> Runner.run ~jobs:1 arch ~params placement ~input) in
+  let service_s = Float.max 1e-4 service_s in
+  let sustainable_rps = 1. /. service_s in
+  let n = 16 in
+  let capacity = 4 in
+  let group = 4 in
+  let row factor =
+    let adm =
+      Admission.create
+        { Admission.default_config with Admission.capacity; group; jobs = 1 }
+        arch ~params placement
+    in
+    let gap = service_s /. factor in
+    let t0 = Unix.gettimeofday () in
+    let arrivals = Array.init n (fun i -> t0 +. (float_of_int i *. gap)) in
+    let lat_interactive = Sink.Latency.create () in
+    let lat_bulk = Sink.Latency.create () in
+    let identical = ref true in
+    let accepted = ref 0 in
+    let expired = ref 0 in
+    let next = ref 0 in
+    let consume outcomes =
+      List.iter
+        (fun (o : Admission.outcome) ->
+          (match o.Admission.o_error with
+          | Some (Sim_error.Deadline_expired _) -> incr expired
+          | Some _ -> identical := false
+          | None -> ());
+          (match o.Admission.o_report with
+          | Some r -> if r <> solo then identical := false
+          | None -> ());
+          Sink.Latency.observe
+            (match o.Admission.o_class with
+            | Wire.Interactive -> lat_interactive
+            | Wire.Bulk -> lat_bulk)
+            o.Admission.o_latency_s)
+        outcomes
+    in
+    while !next < n || Admission.pending adm > 0 do
+      let now = Unix.gettimeofday () in
+      while !next < n && arrivals.(!next) <= now do
+        let i = !next in
+        (* alternate classes: odd requests carry a (generous) deadline and
+           take the supervised solo path, even ones batch *)
+        let class_, deadline_s =
+          if i land 1 = 1 then (Wire.Interactive, Some 60.) else (Wire.Bulk, None)
+        in
+        (match
+           Admission.submit ?deadline_s ~enqueued_at:arrivals.(i) adm
+             ~name:(Printf.sprintf "req%d" i) ~class_ ~input
+         with
+        | Ok _ -> incr accepted
+        | Error _ -> () (* shed, counted by the admission layer *));
+        incr next
+      done;
+      if Admission.pending adm > 0 then consume (Admission.run_pending ~max:group adm)
+      else if !next < n then
+        Unix.sleepf (Float.max 0. (Float.min 0.005 (arrivals.(!next) -. now)))
+    done;
+    let shed = Admission.shed_count adm in
+    let all = Sink.Latency.create () in
+    Sink.Latency.merge_into ~dst:all lat_interactive;
+    Sink.Latency.merge_into ~dst:all lat_bulk;
+    let q p = 1e3 *. Sink.Latency.quantile all p in
+    Printf.printf
+      "service factor=%.1f: offered %.1f req/s, accepted %d, shed %d, expired %d, p50 %.1fms p95 %.1fms p99 %.1fms, identical=%b\n%!"
+      factor (factor *. sustainable_rps) !accepted shed !expired (q 0.5) (q 0.95) (q 0.99)
+      !identical;
+    Printf.sprintf
+      {|    {"factor": %.2f, "offered_rps": %.4f, "offered": %d,
+     "accepted": %d, "shed": %d, "shed_rate": %.4f, "expired": %d,
+     "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f,
+     "interactive": %s, "bulk": %s, "identical": %b}|}
+      factor (factor *. sustainable_rps) n !accepted shed
+      (float_of_int shed /. float_of_int n)
+      !expired (q 0.5) (q 0.95) (q 0.99)
+      (Sink.Latency.to_json lat_interactive)
+      (Sink.Latency.to_json lat_bulk)
+      !identical
+  in
+  let rows = List.map row [ 0.5; 1.0; 2.0; 4.0 ] in
+  (rows, sustainable_rps, service_s, n, capacity)
+
 let sim env ~out =
   let jobs =
     if env.Experiments.jobs > 1 then env.Experiments.jobs else Scheduler.default_jobs ()
@@ -304,6 +406,7 @@ let sim env ~out =
   in
   let kernel_rows = List.map (fun name -> kernel_bench env ~name) [ "Snort"; "Yara" ] in
   let stream_rows, compiles_cold, compiles_warm, warm_hit = stream_scaling env ~jobs in
+  let service_rows, sustainable_rps, service_s, per_factor, capacity = service_slo env in
   let oc = open_out out in
   Printf.fprintf oc
     "{\n\
@@ -311,13 +414,17 @@ let sim env ~out =
     \  \"workloads\": [\n%s\n  ],\n\
     \  \"nfa_kernel\": [\n%s\n  ],\n\
     \  \"placement_cache\": {\"compiles_cold\": %d, \"compiles_warm\": %d, \"warm_hit\": %b},\n\
-    \  \"stream_scaling\": [\n%s\n  ]\n\
+    \  \"stream_scaling\": [\n%s\n  ],\n\
+    \  \"service_slo\": {\"sustainable_rps\": %.4f, \"service_s\": %.6f, \"offered_per_factor\": \
+     %d, \"capacity\": %d, \"rows\": [\n%s\n  ]}\n\
      }\n"
     jobs
     (String.concat ",\n" rows)
     (String.concat ",\n" kernel_rows)
     compiles_cold compiles_warm warm_hit
-    (String.concat ",\n" stream_rows);
+    (String.concat ",\n" stream_rows)
+    sustainable_rps service_s per_factor capacity
+    (String.concat ",\n" service_rows);
   close_out oc;
   Printf.printf "wrote %s\n" out
 

@@ -9,7 +9,14 @@
      rap simulate -e REGEX... [INPUT|-]   run the RAP simulator on a rule set
      rap batch    -e REGEX... FILE...     serve many streams against one placement
      rap faults   -e REGEX... --rate R [INPUT|-]   seeded fault-injection campaign
+     rap serve    -e REGEX... --socket S  always-on match daemon (admission control,
+                                          deadlines, load shedding, crash recovery)
+     rap client   --socket S [INPUT|-]    submit one request to a running daemon
      rap eval     --data Snort,Yara --task DSE|NBVA|LNFA|ASIC|ALL|...
+
+   Exit codes are uniform across subcommands: 0 success, 1 runtime
+   failure, 2 usage or input error, 3 strict-mode degradation
+   (--strict), 4 request shed by the daemon (client only).
 *)
 
 open Cmdliner
@@ -166,13 +173,30 @@ let required_input ~file pos =
       Input_stream.close stream;
       text)
 
-(* One string for both stdout and --report-dir files, so a batch
-   stream's report file is byte-diffable against `rap simulate` output. *)
-let report_text report =
-  Format.asprintf "%a@.energy breakdown:@.%a@." Runner.pp_report report Energy.pp
-    report.Runner.energy
+(* One string for stdout, --report-dir files and daemon replies, so a
+   stream's report is byte-diffable against `rap simulate` output
+   however it was served. *)
+let report_text = Runner.render_report
 
 let print_report report = print_string (report_text report)
+
+(* The uniform exit-code contract (also in the README):
+   0 success / 1 runtime failure / 2 usage / 3 strict degraded /
+   4 shed (client).  [Cmd.Exit.defaults] documents 0 and cmdliner's
+   123-125 range. *)
+let common_exits =
+  Cmd.Exit.defaults
+  @ [
+      Cmd.Exit.info 1 ~doc:"on runtime failure (simulation error, no match, rules dropped).";
+      Cmd.Exit.info 2 ~doc:"on usage or input errors.";
+      Cmd.Exit.info 3
+        ~doc:"when $(b,--strict) is set and the run completed degraded (quarantined arrays, \
+              dropped rules, or missed matches).";
+    ]
+
+let client_exits =
+  common_exits
+  @ [ Cmd.Exit.info 4 ~doc:"when the daemon shed the request (overload or quarantine)." ]
 
 let cache_arg =
   Arg.(value
@@ -330,7 +354,7 @@ let simulate_cmd =
       with
       | exception Sim_error.Error e ->
           Printf.eprintf "error: %s\n" (Sim_error.message e);
-          2
+          1
       | report ->
           Input_stream.close stream;
           print_report report;
@@ -349,7 +373,7 @@ let simulate_cmd =
     end
   in
   let doc = "Run a rule set through the cycle-level hardware simulator." in
-  Cmd.v (Cmd.info "simulate" ~doc)
+  Cmd.v (Cmd.info "simulate" ~doc ~exits:common_exits)
     Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ jobs_arg $ trace
           $ ckpt_dir $ ckpt_every $ resume $ strict $ deadline $ retries $ chunk $ cache_arg)
 
@@ -436,7 +460,7 @@ let batch_cmd =
       match Batch.run ~jobs ~group arch ~params placement ~sources with
       | exception Sim_error.Error e ->
           Printf.eprintf "error: %s\n" (Sim_error.message e);
-          2
+          1
       | b ->
           Array.iter
             (fun (s : Batch.stream_report) ->
@@ -478,7 +502,7 @@ let batch_cmd =
      streams through the batched kernel; per-stream reports are bit-identical to solo \
      $(b,rap simulate) runs."
   in
-  Cmd.v (Cmd.info "batch" ~doc)
+  Cmd.v (Cmd.info "batch" ~doc ~exits:common_exits)
     Term.(const run $ regexes_arg $ files $ manifest $ arch_arg $ jobs_arg $ group $ chunk
           $ strict $ report_dir $ cache_arg)
 
@@ -580,9 +604,227 @@ let faults_cmd =
     "Run a seeded fault-injection campaign: defect-aware mapping plus per-cycle transient \
      bit flips, cross-checked against the software reference."
   in
-  Cmd.v (Cmd.info "faults" ~doc)
+  Cmd.v (Cmd.info "faults" ~doc ~exits:common_exits)
     Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ rates $ seed $ trials
           $ cell_rate $ tile_rate $ switch_rate $ spares $ arrays $ strict)
+
+(* ---- rap serve ---- *)
+
+let socket_arg =
+  Arg.(required
+       & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket of the match daemon.")
+
+let serve_cmd =
+  let capacity =
+    Arg.(value & opt int Admission.default_config.Admission.capacity
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Admission queue bound: a Finish arriving with $(docv) requests already \
+                   queued is shed with a typed $(i,Overloaded) reply instead of stalling \
+                   every client behind it.")
+  in
+  let max_input =
+    Arg.(value & opt int Admission.default_config.Admission.max_input
+         & info [ "max-input" ] ~docv:"BYTES"
+             ~doc:"Per-request input cap; an over-limit stream is refused while arriving.")
+  in
+  let group =
+    Arg.(value & opt int Batch.default_group
+         & info [ "group" ] ~docv:"K"
+             ~doc:"Deadline-free requests interleaved per batched kernel pass; per-request \
+                   reports stay bit-identical to solo runs for every value.")
+  in
+  let retries =
+    Arg.(value & opt int Admission.default_config.Admission.retries
+         & info [ "retries" ] ~docv:"N" ~doc:"Re-execution attempts for a failed request.")
+  in
+  let backoff =
+    Arg.(value & opt float Admission.default_config.Admission.backoff_s
+         & info [ "backoff" ] ~docv:"SECONDS"
+             ~doc:"Base retry backoff (exponential, capped at the request's remaining \
+                   deadline).")
+  in
+  let quarantine_after =
+    Arg.(value & opt int Admission.default_config.Admission.quarantine_after
+         & info [ "quarantine-after" ] ~docv:"N"
+             ~doc:"Consecutive faults before a stream name is refused at admission.")
+  in
+  let state_dir =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Spool accepted requests in $(docv) until their reply is delivered; after \
+                   a crash, a restarted daemon replays the spool and writes each report next \
+                   to its entry — accepted work is never lost.")
+  in
+  let write_budget =
+    Arg.(value & opt int (8 * 1024 * 1024)
+         & info [ "write-budget" ] ~docv:"BYTES"
+             ~doc:"Per-connection reply buffer bound; a client that stops reading past it \
+                   is dropped (slow-client backpressure).")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Exit after $(docv) completed requests ($(b,0): replay the crash-recovery \
+                   spool and exit without serving).  Default: serve until SIGTERM or a \
+                   Shutdown frame.")
+  in
+  let run regexes arch jobs socket capacity max_input group retries backoff quarantine_after
+      state_dir write_budget max_requests cache =
+    if capacity <= 0 then fail_input "--capacity must be positive";
+    if group <= 0 then fail_input "--group must be positive";
+    if max_input <= 0 then fail_input "--max-input must be positive";
+    if retries < 0 then fail_input "--retries must be non-negative";
+    if quarantine_after <= 0 then fail_input "--quarantine-after must be positive";
+    (match max_requests with
+    | Some n when n < 0 -> fail_input "--max-requests must be non-negative"
+    | _ -> ());
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info);
+    let jobs = resolve_jobs jobs in
+    let arch = arch_of arch in
+    let params = Program.default_params in
+    let parsed = parse_rules regexes in
+    let placement, errors, cache_status = Runner.prepare ?cache_dir:cache arch ~params parsed in
+    note_cache_status cache_status;
+    List.iter (fun e -> Format.eprintf "dropped: %a@." Compile_error.pp e) errors;
+    if Array.length placement.Mapper.units = 0 then begin
+      Printf.eprintf "error: no regex compiled\n";
+      1
+    end
+    else begin
+      let cfg =
+        {
+          Daemon.socket_path = socket;
+          admission =
+            {
+              Admission.capacity;
+              max_input;
+              group;
+              jobs;
+              retries;
+              backoff_s = backoff;
+              quarantine_after;
+              state_dir;
+            };
+          write_budget;
+          max_requests;
+        }
+      in
+      match Daemon.serve cfg arch ~params placement with
+      | () -> 0
+      | exception Sim_error.Error e ->
+          Printf.eprintf "error: %s\n" (Sim_error.message e);
+          1
+    end
+  in
+  let doc =
+    "Run the always-on match daemon: concurrent client streams multiplexed onto one \
+     compiled placement, with bounded admission, per-request deadlines, typed load \
+     shedding, slow-client backpressure and crash recovery."
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~exits:common_exits)
+    Term.(const run $ regexes_arg $ arch_arg $ jobs_arg $ socket_arg $ capacity $ max_input
+          $ group $ retries $ backoff $ quarantine_after $ state_dir $ write_budget
+          $ max_requests $ cache_arg)
+
+(* ---- rap client ---- *)
+
+let client_cmd =
+  let name_arg =
+    Arg.(value & opt (some string) None
+         & info [ "name" ] ~docv:"NAME"
+             ~doc:"Stream name (quarantine identity); defaults to the input file path.")
+  in
+  let class_ =
+    Arg.(value
+         & opt (enum [ ("interactive", Wire.Interactive); ("bulk", Wire.Bulk) ]) Wire.Bulk
+         & info [ "class" ] ~doc:"SLO class: $(b,interactive) or $(b,bulk).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"End-to-end deadline (queue wait included); an expired request fails \
+                   typed, a timing-out run degrades like supervised $(b,rap simulate).")
+  in
+  let wait =
+    Arg.(value & opt float 5.
+         & info [ "wait" ] ~docv:"SECONDS"
+             ~doc:"Keep retrying the connection this long (covers daemon startup).")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the daemon's stats JSON and exit.") in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Health-check the daemon and exit.") in
+  let stop =
+    Arg.(value & flag & info [ "stop" ] ~doc:"Ask the daemon to drain and shut down.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit with status 3 when the report is degraded.")
+  in
+  let run socket input file name class_ deadline wait stats ping stop strict =
+    let wait_s = Float.max 0. wait in
+    match
+      if ping then
+        Service_client.with_connection ~wait_s socket (fun fd ->
+            if Service_client.ping fd then begin
+              print_endline "pong";
+              0
+            end
+            else 1)
+      else if stats then
+        Service_client.with_connection ~wait_s socket (fun fd ->
+            print_endline (Service_client.stats fd);
+            0)
+      else if stop then
+        Service_client.with_connection ~wait_s socket (fun fd ->
+            Service_client.shutdown fd;
+            0)
+      else begin
+        let text = required_input ~file input in
+        let name =
+          match (name, file, input) with
+          | Some n, _, _ -> n
+          | None, Some p, _ -> p
+          | None, None, Some p when p <> "-" && Sys.file_exists p -> p
+          | None, None, _ -> "cli"
+        in
+        Service_client.with_connection ~wait_s socket (fun fd ->
+            match Service_client.request ~class_ ?deadline_s:deadline fd ~name ~input:text with
+            | Service_client.Done { degraded; text; _ } ->
+                print_string text;
+                if degraded > 0 then begin
+                  Printf.eprintf "degraded run: %d array(s) quarantined\n" degraded;
+                  if strict then 3 else 0
+                end
+                else 0
+            | Service_client.Failed { error; _ } ->
+                Printf.eprintf "error: %s\n" (Sim_error.message error);
+                1
+            | Service_client.Shed reply ->
+                (match reply with
+                | Wire.Overloaded { depth; capacity; retry_after_s } ->
+                    Printf.eprintf
+                      "shed: overloaded (%d queued, capacity %d); retry in %.3fs\n" depth
+                      capacity retry_after_s
+                | Wire.Quarantined { name; faults } ->
+                    Printf.eprintf "shed: stream %S quarantined (%d fault(s))\n" name faults
+                | Wire.Rejected { reason } -> Printf.eprintf "shed: rejected: %s\n" reason
+                | _ -> Printf.eprintf "shed: daemon is shutting down\n");
+                4)
+      end
+    with
+    | status -> status
+    | exception Sim_error.Error e ->
+        Printf.eprintf "error: %s\n" (Sim_error.message e);
+        1
+  in
+  let doc =
+    "Submit one request to a running match daemon; the printed report is byte-identical \
+     to $(b,rap simulate) on the same input."
+  in
+  Cmd.v (Cmd.info "client" ~doc ~exits:client_exits)
+    Term.(const run $ socket_arg $ pos_input_arg $ file_arg $ name_arg $ class_ $ deadline $ wait
+          $ stats $ ping $ stop $ strict)
 
 (* ---- rap eval ---- *)
 
@@ -723,9 +965,9 @@ let mnrl_cmd =
 
 let () =
   let doc = "RAP: reconfigurable automata processor - compiler, simulator, evaluation" in
-  let info = Cmd.info "rap" ~version:Rap.version ~doc in
+  let info = Cmd.info "rap" ~version:Rap.version ~doc ~exits:client_exits in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ match_cmd; compile_cmd; simulate_cmd; batch_cmd; faults_cmd; eval_cmd; check_cmd;
-            export_cmd; ablate_cmd; mnrl_cmd ]))
+          [ match_cmd; compile_cmd; simulate_cmd; batch_cmd; faults_cmd; serve_cmd;
+            client_cmd; eval_cmd; check_cmd; export_cmd; ablate_cmd; mnrl_cmd ]))

@@ -141,4 +141,6 @@ let simulate ?arch ?jobs ?(params = default_params) ~regexes ~input () =
       let placement = Runner.place arch ~params units in
       Ok (Runner.run ?jobs arch ~params placement ~input)
 
+let render_report = Runner.render_report
+
 let version = "1.0.0"

@@ -98,6 +98,11 @@ val simulate :
     parallel domains; results are bit-identical for every value (see
     {!Runner.run}).  Returns [Error] when no regex parses or compiles. *)
 
+val render_report : Runner.report -> string
+(** The canonical textual rendering of a report — the same bytes
+    [rap simulate] prints, [rap batch --report-dir] writes, and the
+    match daemon sends in its [Report] replies. *)
+
 val default_params : Program.params
 val rap_arch : ?bv_depth:int -> unit -> Arch.t
 val version : string

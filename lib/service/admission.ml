@@ -1,0 +1,437 @@
+(* See admission.mli. *)
+
+type config = {
+  capacity : int;
+  max_input : int;
+  group : int;
+  jobs : int;
+  retries : int;
+  backoff_s : float;
+  quarantine_after : int;
+  state_dir : string option;
+}
+
+let default_config =
+  {
+    capacity = 64;
+    max_input = 64 * 1024 * 1024;
+    group = Batch.default_group;
+    jobs = 1;
+    retries = 2;
+    backoff_s = 0.05;
+    quarantine_after = 3;
+    state_dir = None;
+  }
+
+type reject =
+  | Queue_full of { depth : int; capacity : int; retry_after_s : float }
+  | Quarantined_name of { name : string; faults : int }
+  | Too_large of { bytes : int; limit : int }
+
+let reject_message = function
+  | Queue_full { depth; capacity; retry_after_s } ->
+      Printf.sprintf "overloaded: %d request(s) queued (capacity %d); retry in %.3fs" depth
+        capacity retry_after_s
+  | Quarantined_name { name; faults } ->
+      Printf.sprintf "stream %S quarantined after %d consecutive fault(s)" name faults
+  | Too_large { bytes; limit } ->
+      Printf.sprintf "input of %d bytes exceeds the per-request limit of %d" bytes limit
+
+type outcome = {
+  o_id : int;
+  o_name : string;
+  o_class : Wire.class_;
+  o_report : Runner.report option;
+  o_text : string;
+  o_error : Sim_error.t option;
+  o_recovered : bool;
+  o_queued_s : float;
+  o_latency_s : float;
+}
+
+type pending_req = {
+  p_id : int;
+  p_name : string;
+  p_class : Wire.class_;
+  p_deadline_s : float option;
+  p_input : string;
+  p_enqueued_at : float;
+  p_recovered : bool;
+}
+
+type t = {
+  cfg : config;
+  arch : Arch.t;
+  params : Program.params;
+  placement : Mapper.placement;
+  queue : pending_req Queue.t;
+  mutable next_id : int;
+  faults : (string, int) Hashtbl.t;  (* consecutive faults per stream name *)
+  mutable accepted : int;
+  mutable shed : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable degraded_runs : int;
+  lat_interactive : Sink.Latency.t;
+  lat_bulk : Sink.Latency.t;
+  lat_queue_wait : Sink.Latency.t;
+  mutable last_service_s : float;  (* recent per-request service time estimate *)
+}
+
+let create cfg arch ~params placement =
+  {
+    cfg;
+    arch;
+    params;
+    placement;
+    queue = Queue.create ();
+    next_id = 1;
+    faults = Hashtbl.create 16;
+    accepted = 0;
+    shed = 0;
+    completed = 0;
+    failed = 0;
+    degraded_runs = 0;
+    lat_interactive = Sink.Latency.create ();
+    lat_bulk = Sink.Latency.create ();
+    lat_queue_wait = Sink.Latency.create ();
+    last_service_s = 0.01;
+  }
+
+let journal t line =
+  match t.cfg.state_dir with None -> () | Some dir -> Checkpoint.journal ~dir line
+
+let pending t = Queue.length t.queue
+let shed_count t = t.shed
+let completed_count t = t.completed
+
+let quarantined t =
+  Hashtbl.fold
+    (fun name n acc -> if n >= t.cfg.quarantine_after then (name, n) :: acc else acc)
+    t.faults []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let submit ?deadline_s ?enqueued_at t ~name ~class_ ~input =
+  let now = Unix.gettimeofday () in
+  let enqueued_at = Option.value enqueued_at ~default:now in
+  let bytes = String.length input in
+  if bytes > t.cfg.max_input then begin
+    t.shed <- t.shed + 1;
+    journal t (Printf.sprintf "shed too-large name=%s bytes=%d" name bytes);
+    Error (Too_large { bytes; limit = t.cfg.max_input })
+  end
+  else
+    match Hashtbl.find_opt t.faults name with
+    | Some n when n >= t.cfg.quarantine_after ->
+        t.shed <- t.shed + 1;
+        journal t (Printf.sprintf "shed quarantined name=%s faults=%d" name n);
+        Error (Quarantined_name { name; faults = n })
+    | _ ->
+        let depth = Queue.length t.queue in
+        if depth >= t.cfg.capacity then begin
+          t.shed <- t.shed + 1;
+          journal t (Printf.sprintf "shed overloaded name=%s depth=%d" name depth);
+          (* the backlog drains one service time per slot: a client that
+             waits that long has a real chance of admission *)
+          Error
+            (Queue_full { depth; capacity = t.cfg.capacity; retry_after_s = t.last_service_s })
+        end
+        else begin
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          (* spool before enqueueing: from this moment a crash cannot
+             lose the request *)
+          (match t.cfg.state_dir with
+          | None -> ()
+          | Some dir ->
+              Checkpoint.Spool.save ~dir
+                {
+                  Checkpoint.Spool.sp_id = id;
+                  sp_name = name;
+                  sp_class = Wire.class_name class_;
+                  sp_deadline_s = deadline_s;
+                  sp_input = input;
+                });
+          Queue.push
+            {
+              p_id = id;
+              p_name = name;
+              p_class = class_;
+              p_deadline_s = deadline_s;
+              p_input = input;
+              p_enqueued_at = enqueued_at;
+              p_recovered = false;
+            }
+            t.queue;
+          t.accepted <- t.accepted + 1;
+          journal t (Printf.sprintf "accept id=%d name=%s bytes=%d" id name bytes);
+          Ok id
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let to_sim_error = function
+  | Sim_error.Error e -> e
+  | e -> Sim_error.Stream_failed { detail = Printexc.to_string e }
+
+(* Request-level supervision: re-run a whole failed request with
+   exponential backoff, the sleeps capped at what is left of the
+   request's deadline (mirroring the scheduler's own cap). *)
+let with_retries t ~deadline_total ~started_at k =
+  let remaining () =
+    match deadline_total with
+    | None -> infinity
+    | Some d -> d -. (Unix.gettimeofday () -. started_at)
+  in
+  let rec go attempt =
+    match k () with
+    | r -> Ok r
+    | exception e ->
+        if attempt <= t.cfg.retries && remaining () > 0. then begin
+          if t.cfg.backoff_s > 0. then
+            Unix.sleepf
+              (Float.min
+                 (t.cfg.backoff_s *. float_of_int (1 lsl (attempt - 1)))
+                 (Float.max 0. (remaining ())));
+          if remaining () > 0. then go (attempt + 1) else Error (to_sim_error e)
+        end
+        else Error (to_sim_error e)
+  in
+  go 1
+
+(* Fault bookkeeping: a failed execution or a degraded report counts
+   against the stream name; a clean run clears it.  Queue-expiry does
+   not count — overload is the server's condition, not the stream's. *)
+let book_outcome t (o : outcome) =
+  t.completed <- t.completed + 1;
+  let hist =
+    match o.o_class with
+    | Wire.Interactive -> t.lat_interactive
+    | Wire.Bulk -> t.lat_bulk
+  in
+  Sink.Latency.observe hist o.o_latency_s;
+  Sink.Latency.observe t.lat_queue_wait o.o_queued_s;
+  let faulted =
+    match (o.o_error, o.o_report) with
+    | Some (Sim_error.Deadline_expired _), _ -> false
+    | Some _, _ -> true
+    | None, Some r -> r.Runner.degraded <> []
+    | None, None -> false
+  in
+  (match o.o_error with Some _ -> t.failed <- t.failed + 1 | None -> ());
+  (match o.o_report with
+  | Some r when r.Runner.degraded <> [] -> t.degraded_runs <- t.degraded_runs + 1
+  | _ -> ());
+  if faulted then begin
+    let n = 1 + Option.value (Hashtbl.find_opt t.faults o.o_name) ~default:0 in
+    Hashtbl.replace t.faults o.o_name n;
+    journal t (Printf.sprintf "fault id=%d name=%s count=%d" o.o_id o.o_name n);
+    if n = t.cfg.quarantine_after then
+      journal t (Printf.sprintf "quarantine name=%s faults=%d" o.o_name n)
+  end
+  else if o.o_error = None then Hashtbl.replace t.faults o.o_name 0;
+  journal t
+    (Printf.sprintf "finish id=%d name=%s status=%s latency_ms=%.3f" o.o_id o.o_name
+       (match o.o_error with
+       | Some e -> Sim_error.label e
+       | None -> (
+           match o.o_report with
+           | Some r when r.Runner.degraded <> [] -> "degraded"
+           | _ -> "ok"))
+       (1e3 *. o.o_latency_s));
+  (* the outcome is now the caller's: the reply (or the recovery report
+     file) supersedes the spool entry *)
+  (match t.cfg.state_dir with
+  | None -> ()
+  | Some dir ->
+      if o.o_recovered then begin
+        let path = Checkpoint.Spool.report_path ~dir ~id:o.o_id in
+        let text =
+          if o.o_text <> "" then o.o_text
+          else
+            Printf.sprintf "failed: %s\n"
+              (match o.o_error with Some e -> Sim_error.message e | None -> "unknown")
+        in
+        try
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc text)
+        with Sys_error _ -> ()
+      end;
+      Checkpoint.Spool.remove ~dir ~id:o.o_id)
+
+let outcome_of_report req ~started_at ~finished_at (report : Runner.report) =
+  {
+    o_id = req.p_id;
+    o_name = req.p_name;
+    o_class = req.p_class;
+    o_report = Some report;
+    o_text = Runner.render_report report;
+    o_error = None;
+    o_recovered = req.p_recovered;
+    o_queued_s = Float.max 0. (started_at -. req.p_enqueued_at);
+    o_latency_s = Float.max 0. (finished_at -. req.p_enqueued_at);
+  }
+
+let outcome_of_error req ~started_at ~finished_at error =
+  {
+    o_id = req.p_id;
+    o_name = req.p_name;
+    o_class = req.p_class;
+    o_report = None;
+    o_text = "";
+    o_error = Some error;
+    o_recovered = req.p_recovered;
+    o_queued_s = Float.max 0. (started_at -. req.p_enqueued_at);
+    o_latency_s = Float.max 0. (finished_at -. req.p_enqueued_at);
+  }
+
+(* Solo supervised run: the path for deadline-carrying requests and the
+   isolation fallback when a batched pass fails.  The remaining deadline
+   (whole deadline minus queue wait) becomes the per-attempt budget of
+   the PR 4 supervisor, so a timed-out request degrades into a partial
+   report with quarantined arrays instead of failing outright. *)
+let run_solo t req =
+  let started_at = Unix.gettimeofday () in
+  match req.p_deadline_s with
+  | Some d when d -. (started_at -. req.p_enqueued_at) <= 0. ->
+      (* the whole deadline died in the queue: typed expiry, no execution *)
+      outcome_of_error req ~started_at ~finished_at:started_at
+        (Sim_error.Deadline_expired
+           { waited_s = started_at -. req.p_enqueued_at; deadline_s = d })
+  | deadline ->
+      let policy =
+        Option.map
+          (fun d ->
+            {
+              Scheduler.deadline_s = Some (d -. (started_at -. req.p_enqueued_at));
+              retries = t.cfg.retries;
+              backoff_s = t.cfg.backoff_s;
+            })
+          deadline
+      in
+      let run () =
+        let stream = Input_stream.of_string req.p_input in
+        Runner.run_stream ~jobs:t.cfg.jobs ?policy t.arch ~params:t.params t.placement
+          ~stream
+      in
+      let result = with_retries t ~deadline_total:deadline ~started_at run in
+      let finished_at = Unix.gettimeofday () in
+      (match result with
+      | Ok report -> outcome_of_report req ~started_at ~finished_at report
+      | Error e -> outcome_of_error req ~started_at ~finished_at e)
+
+(* Batched run of deadline-free requests: one shared placement, streams
+   interleaved [group] at a time through the phase-major kernel.  Each
+   stream's report is bit-identical to its solo run (the PR 5
+   contract), so batching is invisible in the results — it only buys
+   aggregate throughput.  A failing batch falls back to solo runs so
+   one faulty stream cannot take its groupmates down. *)
+let run_batched t reqs =
+  match reqs with
+  | [] -> []
+  | [ one ] -> [ run_solo t one ]
+  | _ -> (
+      let reqs_a = Array.of_list reqs in
+      let b = Array.length reqs_a in
+      let started_at = Unix.gettimeofday () in
+      let sources =
+        Array.map (fun r -> Batch.of_string ~name:r.p_name r.p_input) reqs_a
+      in
+      let stamps = Array.make b 0. in
+      match
+        Batch.run ~jobs:t.cfg.jobs ~group:t.cfg.group ~done_stamps:stamps t.arch
+          ~params:t.params t.placement ~sources
+      with
+      | batch ->
+          List.init b (fun i ->
+              let finished_at = if stamps.(i) > 0. then stamps.(i) else Unix.gettimeofday () in
+              outcome_of_report reqs_a.(i) ~started_at ~finished_at
+                batch.Batch.streams.(i).Batch.bs_report)
+      | exception e ->
+          journal t
+            (Printf.sprintf "batch-fallback %d stream(s): %s" b
+               (Sim_error.message (to_sim_error e)));
+          Array.to_list (Array.map (run_solo t) reqs_a))
+
+let run_pending ?max t =
+  let n = match max with None -> Queue.length t.queue | Some m -> min m (Queue.length t.queue) in
+  if n = 0 then []
+  else begin
+    let popped = List.init n (fun _ -> Queue.pop t.queue) in
+    let t0 = Unix.gettimeofday () in
+    (* deadline-free requests ride the batched kernel together;
+       deadline-carrying ones run solo so one slow groupmate cannot eat
+       another request's budget *)
+    let batched, solo = List.partition (fun r -> r.p_deadline_s = None) popped in
+    let outcomes = run_batched t batched @ List.map (run_solo t) solo in
+    let wall = Unix.gettimeofday () -. t0 in
+    t.last_service_s <- Float.max 1e-4 (wall /. float_of_int n);
+    List.iter (book_outcome t) outcomes;
+    outcomes
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery *)
+
+let recover t =
+  match t.cfg.state_dir with
+  | None -> []
+  | Some dir ->
+      let entries, errors = Checkpoint.Spool.list ~dir in
+      List.iter
+        (fun e -> journal t (Printf.sprintf "recover-skip corrupt: %s" (Sim_error.message e)))
+        errors;
+      if entries = [] then []
+      else begin
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun (e : Checkpoint.Spool.entry) ->
+            t.next_id <- max t.next_id (e.Checkpoint.Spool.sp_id + 1);
+            journal t
+              (Printf.sprintf "recover id=%d name=%s bytes=%d" e.Checkpoint.Spool.sp_id
+                 e.Checkpoint.Spool.sp_name
+                 (String.length e.Checkpoint.Spool.sp_input));
+            Queue.push
+              {
+                p_id = e.Checkpoint.Spool.sp_id;
+                p_name = e.Checkpoint.Spool.sp_name;
+                p_class =
+                  (match Wire.class_of_string e.Checkpoint.Spool.sp_class with
+                  | Ok c -> c
+                  | Error _ -> Wire.Bulk);
+                (* a recovered request's original deadline is long gone;
+                   replaying it without one yields the full report the
+                   client was promised at admission *)
+                p_deadline_s = None;
+                p_input = e.Checkpoint.Spool.sp_input;
+                p_enqueued_at = now;
+                p_recovered = true;
+              }
+              t.queue)
+          entries;
+        run_pending t
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let stats_json t =
+  let quarantine_json =
+    String.concat ", "
+      (List.map
+         (fun (name, faults) -> Printf.sprintf {|{"name": %S, "faults": %d}|} name faults)
+         (quarantined t))
+  in
+  Printf.sprintf
+    {|{"queue_depth": %d, "capacity": %d, "accepted": %d, "completed": %d, "shed": %d, "failed": %d, "degraded": %d, "quarantined": [%s], "latency": {"interactive": %s, "bulk": %s}, "queue_wait": %s}|}
+    (Queue.length t.queue) t.cfg.capacity t.accepted t.completed t.shed t.failed
+    t.degraded_runs quarantine_json
+    (Sink.Latency.to_json t.lat_interactive)
+    (Sink.Latency.to_json t.lat_bulk)
+    (Sink.Latency.to_json t.lat_queue_wait)

@@ -1,0 +1,44 @@
+(** Blocking client helpers over the {!Wire} protocol — everything
+    [rap client] and the CI smoke tests need to talk to a daemon. *)
+
+type outcome =
+  | Done of { id : int; degraded : int; text : string }
+      (** Accepted and executed; [text] is byte-identical to
+          [rap simulate] on the same input. *)
+  | Failed of { id : int; error : Sim_error.t }
+      (** Accepted but execution failed terminally. *)
+  | Shed of Wire.reply
+      (** Typed rejection at admission: [Overloaded], [Quarantined],
+          [Rejected] or [Shutting_down]. *)
+
+val connect : ?wait_s:float -> string -> Unix.file_descr
+(** Connect to the daemon's socket.  [wait_s] retries for that long
+    while the socket does not exist or refuses — covers the daemon
+    still starting up.  Raises [Sim_error.Error (Stream_failed _)] on
+    final failure. *)
+
+val close : Unix.file_descr -> unit
+
+val request :
+  ?class_:Wire.class_ ->
+  ?deadline_s:float ->
+  ?chunk:int ->
+  Unix.file_descr ->
+  name:string ->
+  input:string ->
+  outcome
+(** Stream one request (Open, [chunk]-byte Chunks, Finish) and wait for
+    its terminal reply.  [class_] defaults to [Bulk], [chunk] to 64 KiB.
+    Raises [Sim_error.Error (Stream_failed _)] if the server drops the
+    connection or replies out of protocol. *)
+
+val stats : Unix.file_descr -> string
+(** The daemon's stats JSON ({!Admission.stats_json}). *)
+
+val ping : Unix.file_descr -> bool
+
+val shutdown : Unix.file_descr -> unit
+(** Ask the daemon to drain and exit (fire-and-forget past the ack). *)
+
+val with_connection : ?wait_s:float -> string -> (Unix.file_descr -> 'a) -> 'a
+(** [connect], run, [close] — also on exceptions. *)

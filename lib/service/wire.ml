@@ -1,0 +1,326 @@
+(* See wire.mli. *)
+
+type class_ = Interactive | Bulk
+
+let class_name = function Interactive -> "interactive" | Bulk -> "bulk"
+
+let class_of_string = function
+  | "interactive" -> Ok Interactive
+  | "bulk" -> Ok Bulk
+  | other -> Error (Printf.sprintf "unknown stream class %S (interactive|bulk)" other)
+
+type request =
+  | Open of { name : string; class_ : class_; deadline_s : float option }
+  | Chunk of string
+  | Finish
+  | Stats
+  | Ping
+  | Shutdown
+
+type reply =
+  | Accepted of { id : int }
+  | Overloaded of { depth : int; capacity : int; retry_after_s : float }
+  | Quarantined of { name : string; faults : int }
+  | Rejected of { reason : string }
+  | Report of { id : int; degraded : int; text : string }
+  | Failed of { id : int; error : Sim_error.t }
+  | Stats_ok of { json : string }
+  | Pong
+  | Shutting_down
+
+let default_max_frame = 64 * 1024 * 1024
+
+(* ---- primitive writers / readers (the Checkpoint codec vocabulary) ---- *)
+
+let w_u8 b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+let w_u32 b n =
+  if n < 0 then invalid_arg "Wire: negative u32";
+  for i = 0 to 3 do
+    w_u8 b ((n lsr (8 * i)) land 0xFF)
+  done
+
+let w_i64 b n =
+  let n = Int64.of_int n in
+  for i = 0 to 7 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical n (8 * i)) land 0xFF)
+  done
+
+let w_f64 b f =
+  let n = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical n (8 * i)) land 0xFF)
+  done
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+exception Bad of string
+
+type cursor = { data : string; mutable at : int }
+
+let need cur n = if cur.at + n > String.length cur.data then raise (Bad "truncated payload")
+
+let r_u8 cur =
+  need cur 1;
+  let v = Char.code cur.data.[cur.at] in
+  cur.at <- cur.at + 1;
+  v
+
+let r_u32 cur =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := !v lor (r_u8 cur lsl (8 * i))
+  done;
+  !v
+
+let r_i64 cur =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (r_u8 cur)) (8 * i))
+  done;
+  Int64.to_int !v
+
+let r_f64 cur =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (r_u8 cur)) (8 * i))
+  done;
+  Int64.float_of_bits !v
+
+let r_str cur =
+  let n = r_u32 cur in
+  need cur n;
+  let s = String.sub cur.data cur.at n in
+  cur.at <- cur.at + n;
+  s
+
+let decoded cur v =
+  if cur.at <> String.length cur.data then Error "trailing bytes" else Ok v
+
+(* ---- request codec ---- *)
+
+let encode_request r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Open { name; class_; deadline_s } ->
+      w_u8 b 1;
+      w_str b name;
+      w_u8 b (match class_ with Interactive -> 0 | Bulk -> 1);
+      (match deadline_s with
+      | None -> w_u8 b 0
+      | Some d ->
+          w_u8 b 1;
+          w_f64 b d)
+  | Chunk data ->
+      w_u8 b 2;
+      w_str b data
+  | Finish -> w_u8 b 3
+  | Stats -> w_u8 b 4
+  | Ping -> w_u8 b 5
+  | Shutdown -> w_u8 b 6);
+  Buffer.contents b
+
+let decode_request s =
+  let cur = { data = s; at = 0 } in
+  match
+    match r_u8 cur with
+    | 1 ->
+        let name = r_str cur in
+        let class_ =
+          match r_u8 cur with
+          | 0 -> Interactive
+          | 1 -> Bulk
+          | c -> raise (Bad (Printf.sprintf "unknown class tag %d" c))
+        in
+        let deadline_s =
+          match r_u8 cur with
+          | 0 -> None
+          | 1 -> Some (r_f64 cur)
+          | t -> raise (Bad (Printf.sprintf "unknown option tag %d" t))
+        in
+        Open { name; class_; deadline_s }
+    | 2 -> Chunk (r_str cur)
+    | 3 -> Finish
+    | 4 -> Stats
+    | 5 -> Ping
+    | 6 -> Shutdown
+    | tag -> raise (Bad (Printf.sprintf "unknown request tag %d" tag))
+  with
+  | v -> decoded cur v
+  | exception Bad detail -> Error detail
+
+(* ---- reply codec ---- *)
+
+let encode_reply r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Accepted { id } ->
+      w_u8 b 0x81;
+      w_i64 b id
+  | Overloaded { depth; capacity; retry_after_s } ->
+      w_u8 b 0x82;
+      w_u32 b depth;
+      w_u32 b capacity;
+      w_f64 b retry_after_s
+  | Quarantined { name; faults } ->
+      w_u8 b 0x83;
+      w_str b name;
+      w_u32 b faults
+  | Rejected { reason } ->
+      w_u8 b 0x84;
+      w_str b reason
+  | Report { id; degraded; text } ->
+      w_u8 b 0x85;
+      w_i64 b id;
+      w_u32 b degraded;
+      w_str b text
+  | Failed { id; error } ->
+      w_u8 b 0x86;
+      w_i64 b id;
+      w_str b (Sim_error.to_wire error)
+  | Stats_ok { json } ->
+      w_u8 b 0x87;
+      w_str b json
+  | Pong -> w_u8 b 0x88
+  | Shutting_down -> w_u8 b 0x89);
+  Buffer.contents b
+
+let decode_reply s =
+  let cur = { data = s; at = 0 } in
+  match
+    match r_u8 cur with
+    | 0x81 -> Accepted { id = r_i64 cur }
+    | 0x82 ->
+        let depth = r_u32 cur in
+        let capacity = r_u32 cur in
+        Overloaded { depth; capacity; retry_after_s = r_f64 cur }
+    | 0x83 ->
+        let name = r_str cur in
+        Quarantined { name; faults = r_u32 cur }
+    | 0x84 -> Rejected { reason = r_str cur }
+    | 0x85 ->
+        let id = r_i64 cur in
+        let degraded = r_u32 cur in
+        Report { id; degraded; text = r_str cur }
+    | 0x86 -> (
+        let id = r_i64 cur in
+        match Sim_error.of_wire (r_str cur) with
+        | Ok error -> Failed { id; error }
+        | Error detail -> raise (Bad ("bad error payload: " ^ detail)))
+    | 0x87 -> Stats_ok { json = r_str cur }
+    | 0x88 -> Pong
+    | 0x89 -> Shutting_down
+    | tag -> raise (Bad (Printf.sprintf "unknown reply tag %d" tag))
+  with
+  | v -> decoded cur v
+  | exception Bad detail -> Error detail
+
+(* ---- blocking transport ---- *)
+
+let stream_fail detail = raise (Sim_error.Error (Sim_error.Stream_failed { detail }))
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error (e, _, _) ->
+          stream_fail (Printf.sprintf "socket write: %s" (Unix.error_message e))
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_le buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+(* [Some bytes] only when exactly [len] bytes arrive; [None] for EOF at
+   offset 0 (the caller decides whether a boundary EOF is clean) *)
+let read_exactly fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then Some buf
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then None else stream_fail "unexpected EOF mid-frame"
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+          stream_fail (Printf.sprintf "socket read: %s" (Unix.error_message e))
+  in
+  go 0
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  match read_exactly fd 4 with
+  | None -> None
+  | Some hdr ->
+      let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+      if len < 0 || len > max_frame then
+        stream_fail (Printf.sprintf "frame length %d exceeds limit %d" len max_frame)
+      else if len = 0 then Some ""
+      else (
+        match read_exactly fd len with
+        | None -> stream_fail "unexpected EOF mid-frame"
+        | Some payload -> Some (Bytes.unsafe_to_string payload))
+
+let send_request fd r = write_frame fd (encode_request r)
+
+let recv_reply ?max_frame fd =
+  match read_frame ?max_frame fd with
+  | None -> None
+  | Some payload -> (
+      match decode_reply payload with
+      | Ok r -> Some r
+      | Error detail -> stream_fail (Printf.sprintf "undecodable reply: %s" detail))
+
+(* ---- incremental reader ---- *)
+
+type reader = {
+  max_frame : int;
+  mutable buf : Bytes.t;  (* [lo, hi) holds unconsumed bytes *)
+  mutable lo : int;
+  mutable hi : int;
+}
+
+let create_reader ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Bytes.create 4096; lo = 0; hi = 0 }
+
+let reader_buffered r = r.hi - r.lo
+
+let reader_feed r src n =
+  if n > 0 then begin
+    if r.hi + n > Bytes.length r.buf then begin
+      let live = r.hi - r.lo in
+      let cap = max (live + n) (2 * Bytes.length r.buf) in
+      let nb = Bytes.create cap in
+      Bytes.blit r.buf r.lo nb 0 live;
+      r.buf <- nb;
+      r.lo <- 0;
+      r.hi <- live
+    end;
+    Bytes.blit src 0 r.buf r.hi n;
+    r.hi <- r.hi + n
+  end
+
+let reader_next r =
+  if r.hi - r.lo < 4 then Ok None
+  else
+    let len = Int32.to_int (Bytes.get_int32_le r.buf r.lo) in
+    if len < 0 || len > r.max_frame then
+      Error (Printf.sprintf "frame length %d exceeds limit %d" len r.max_frame)
+    else if r.hi - r.lo < 4 + len then Ok None
+    else begin
+      let payload = Bytes.sub_string r.buf (r.lo + 4) len in
+      r.lo <- r.lo + 4 + len;
+      if r.lo = r.hi then begin
+        r.lo <- 0;
+        r.hi <- 0
+      end;
+      Ok (Some payload)
+    end

@@ -85,12 +85,27 @@ let run_task arch members =
   in
   loop members
 
-let run ?(jobs = 1) ?(group = default_group) (arch : Arch.t) ~params (p : Mapper.placement)
-    ~sources =
+let run ?(jobs = 1) ?(group = default_group) ?done_stamps (arch : Arch.t) ~params
+    (p : Mapper.placement) ~sources =
   ignore params;
   let b = Array.length sources in
   if b = 0 then invalid_arg "Batch.run: no sources";
+  (match done_stamps with
+  | Some a when Array.length a < b -> invalid_arg "Batch.run: done_stamps shorter than sources"
+  | _ -> ());
   let num_arrays = Array.length p.Mapper.arrays in
+  (* per-stream completion stamps: a stream is done when its last
+     (group x array) task retires, which the service layer turns into
+     that request's finish timestamp.  Pure instrumentation — the
+     decrement is the only cross-task communication, and it never feeds
+     back into results. *)
+  let remaining = Array.init b (fun _ -> Atomic.make num_arrays) in
+  let stamp_done s =
+    match done_stamps with
+    | None -> ()
+    | Some stamps ->
+        if Atomic.fetch_and_add remaining.(s) (-1) = 1 then stamps.(s) <- Unix.gettimeofday ()
+  in
   let group_w = max 1 group in
   let n_groups = (b + group_w - 1) / group_w in
   (* per-stream accounting, per-array slots inside — the exact slot
@@ -139,7 +154,8 @@ let run ?(jobs = 1) ?(group = default_group) (arch : Arch.t) ~params (p : Mapper
       (fun m ->
         cycles_slots.(m.m_stream).(ai) <- m.m_cycles;
         reports_slots.(m.m_stream).(ai) <- m.m_reports;
-        if ai = 0 then chars_slots.(m.m_stream) <- Input_stream.pos m.m_input)
+        if ai = 0 then chars_slots.(m.m_stream) <- Input_stream.pos m.m_input;
+        stamp_done m.m_stream)
       members
   in
   Scheduler.parallel_for ~jobs (n_groups * num_arrays) task;

@@ -55,6 +55,7 @@ val default_group : int
 val run :
   ?jobs:int ->
   ?group:int ->
+  ?done_stamps:float array ->
   Arch.t ->
   params:Program.params ->
   Mapper.placement ->
@@ -62,7 +63,12 @@ val run :
   t
 (** Run every source to exhaustion.  [jobs] bounds the worker domains
     (default 1); [group] the streams interleaved per kernel pass.
-    Raises [Invalid_argument] on an empty source array; stream errors
-    ([Sim_error.Error]) propagate. *)
+    [done_stamps] (length >= streams) receives, per stream, the
+    wall-clock instant its last (group x array) task retired — the
+    match service's per-request finish timestamp; streams in the same
+    group finish at different times when lengths are skewed, so a
+    single batch-end stamp would overstate short requests' latency.
+    Raises [Invalid_argument] on an empty source array or a short
+    [done_stamps]; stream errors ([Sim_error.Error]) propagate. *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit

@@ -231,6 +231,101 @@ let load ~dir =
       | ck -> Ok (Some ck)
       | exception Corrupt detail -> corrupt detail)
 
+(* ---- request spool: the service's in-flight session journal ----
+
+   One Artifact-framed file per accepted-but-unfinished request.  The
+   daemon writes the entry at admission (before execution starts) and
+   removes it when the reply is handed to the transport, so a kill -9 at
+   any point in between leaves the request on disk for the next daemon
+   start to replay.  Same crash-consistency story as the checkpoint
+   state file: temp-write + rename, CRC-guarded load. *)
+
+module Spool = struct
+  let magic = "RAPSPOOL"
+  let version = 1
+
+  type entry = {
+    sp_id : int;
+    sp_name : string;
+    sp_class : string;
+    sp_deadline_s : float option;
+    sp_input : string;
+  }
+
+  let path ~dir ~id = Filename.concat dir (Printf.sprintf "req-%06d.req" id)
+  let report_path ~dir ~id = Filename.concat dir (Printf.sprintf "req-%06d.report" id)
+
+  let encode e =
+    let b = Buffer.create (String.length e.sp_input + 64) in
+    w_i64 b e.sp_id;
+    w_str b e.sp_name;
+    w_str b e.sp_class;
+    (match e.sp_deadline_s with
+    | None -> w_u8 b 0
+    | Some d ->
+        w_u8 b 1;
+        w_f64 b d);
+    w_str b e.sp_input;
+    Buffer.contents b
+
+  let decode payload =
+    let cur = { data = payload; at = 0 } in
+    let sp_id = r_i64 cur in
+    let sp_name = r_str cur in
+    let sp_class = r_str cur in
+    let sp_deadline_s =
+      match r_u8 cur with
+      | 0 -> None
+      | 1 -> Some (r_f64 cur)
+      | tag -> raise (Corrupt (Printf.sprintf "unknown deadline tag %d" tag))
+    in
+    let sp_input = r_str cur in
+    if cur.at <> String.length payload then raise (Corrupt "trailing bytes");
+    { sp_id; sp_name; sp_class; sp_deadline_s; sp_input }
+
+  let save ~dir e =
+    ensure_dir dir;
+    let path = path ~dir ~id:e.sp_id in
+    try Artifact.save ~path ~magic ~version (encode e)
+    with Sys_error msg -> fs_fail (Printf.sprintf "cannot spool request %S: %s" path msg)
+
+  let load ~dir ~id =
+    let path = path ~dir ~id in
+    let corrupt detail = Error (Sim_error.Checkpoint_corrupt { path; detail }) in
+    match Artifact.load ~path ~magic ~version with
+    | Ok None -> Ok None
+    | Error detail -> corrupt detail
+    | Ok (Some payload) -> (
+        match decode payload with
+        | e -> Ok (Some e)
+        | exception Corrupt detail -> corrupt detail)
+
+  let remove ~dir ~id = try Sys.remove (path ~dir ~id) with Sys_error _ -> ()
+
+  (* every parseable req-NNNNNN.req, ascending by id; unreadable or
+     corrupt files become errors, never silent drops — a recovery that
+     quietly loses an accepted request would defeat the spool's point *)
+  let list ~dir =
+    if not (Sys.file_exists dir) then ([], [])
+    else
+      let ids =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter_map (fun f ->
+               if Filename.check_suffix f ".req" then
+                 Scanf.sscanf_opt f "req-%d.req" (fun id -> id)
+               else None)
+        |> List.sort_uniq compare
+      in
+      List.fold_left
+        (fun (ok, errs) id ->
+          match load ~dir ~id with
+          | Ok (Some e) -> (e :: ok, errs)
+          | Ok None -> (ok, errs)
+          | Error e -> (ok, e :: errs))
+        ([], []) ids
+      |> fun (ok, errs) -> (List.rev ok, List.rev errs)
+end
+
 let journal ~dir line =
   try
     ensure_dir dir;

@@ -55,3 +55,43 @@ val load : dir:string -> (t option, Sim_error.t) result
 val journal : dir:string -> string -> unit
 (** Append one timestamped line to the run journal (best-effort: journal
     failures never abort a run). *)
+
+(** {1 Request spool}
+
+    The match daemon's in-flight session journal: every accepted request
+    is persisted here {e before} execution starts and removed only when
+    its reply reaches the transport, so a [kill -9] at any point in
+    between leaves the request replayable.  On restart the daemon lists
+    the spool, re-executes every entry against the same placement, and
+    writes each report next to its entry — bit-identical to what the
+    live run would have produced, because execution is deterministic in
+    (placement, input).
+
+    Files use the shared {!Artifact} envelope (magic [RAPSPOOL],
+    CRC-32, temp-write + rename), so torn entries are detected, never
+    replayed as garbage. *)
+module Spool : sig
+  type entry = {
+    sp_id : int;
+    sp_name : string;  (** Client-chosen stream name. *)
+    sp_class : string;  (** Stream class label ([interactive] / [bulk]). *)
+    sp_deadline_s : float option;
+    sp_input : string;
+  }
+
+  val path : dir:string -> id:int -> string
+  val report_path : dir:string -> id:int -> string
+  (** Where recovery writes the replayed report for entry [id]. *)
+
+  val save : dir:string -> entry -> unit
+  (** Crash-consistent write (creates [dir] when missing); raises
+      [Sim_error.Error (Stream_failed _)] on filesystem errors. *)
+
+  val load : dir:string -> id:int -> (entry option, Sim_error.t) result
+  val remove : dir:string -> id:int -> unit
+
+  val list : dir:string -> entry list * Sim_error.t list
+  (** All parseable entries ascending by id, plus one
+      [Checkpoint_corrupt] per damaged file — corrupt entries are
+      surfaced, never silently dropped. *)
+end

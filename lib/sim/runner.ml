@@ -512,3 +512,11 @@ let pp_report fmt r =
       (fun fmt l ->
         List.iter (fun e -> Format.fprintf fmt "@,  %a" Sim_error.pp e) l)
       r.degraded
+
+(* The one canonical rendering, shared by the CLI, the batch
+   --report-dir files and the match service's Report replies: byte-for-
+   byte agreement between `rap simulate` output and a served report is
+   part of the service's correctness contract, so there must be exactly
+   one formatter. *)
+let render_report r =
+  Format.asprintf "%a@.energy breakdown:@.%a@." pp_report r Energy.pp r.energy

@@ -202,3 +202,10 @@ val run_regexes :
     architecture rejected instead of dropping them silently. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val render_report : report -> string
+(** The canonical textual rendering — the report line plus the energy
+    breakdown, exactly what [rap simulate] prints.  The CLI, the batch
+    [--report-dir] files and the match service's report replies all go
+    through this one function, which is what makes served reports
+    byte-diffable against solo runs. *)

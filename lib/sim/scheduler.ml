@@ -65,33 +65,55 @@ let default_policy = { deadline_s = None; retries = 2; backoff_s = 0.05 }
 let supervised_for ~jobs ~policy n f =
   let outcomes = Array.make n None in
   let supervise i =
+    (* With a deadline, the item's whole supervision is bounded by one
+       attempt budget per allowed attempt.  Backoff sleeps count against
+       that budget: without the cap, a deadline_s=1 retries=3 backoff=5
+       policy would sleep 5+10+20 s between 1 s attempts — the
+       supervisor itself blowing the deadline it is there to enforce. *)
+    let sup_start = Unix.gettimeofday () in
+    let budget =
+      Option.map (fun d -> d *. float_of_int (policy.retries + 1)) policy.deadline_s
+    in
+    let remaining () =
+      match budget with
+      | None -> infinity
+      | Some b -> b -. (Unix.gettimeofday () -. sup_start)
+    in
+    let fail attempt e =
+      match e with
+      | Deadline_exceeded ->
+          Some
+            (Sim_error.Array_timeout
+               {
+                 array_id = i;
+                 attempts = attempt;
+                 deadline_s = Option.value policy.deadline_s ~default:0.;
+               })
+      | e ->
+          Some
+            (Sim_error.Array_crashed
+               { array_id = i; attempts = attempt; detail = Printexc.to_string e })
+    in
     let rec go attempt =
       let deadline = { d_start = Unix.gettimeofday (); d_limit = policy.deadline_s } in
       match f ~deadline ~attempt i with
       | () -> None
       | exception e ->
-          if attempt <= policy.retries then begin
+          if attempt <= policy.retries && remaining () > 0. then begin
             (* exponential backoff: transient contention (a loaded machine,
-               a slow filesystem) deserves breathing room before the rerun *)
+               a slow filesystem) deserves breathing room before the rerun
+               — but never more breathing room than the deadline budget
+               still allows *)
             if policy.backoff_s > 0. then
-              Unix.sleepf (policy.backoff_s *. float_of_int (1 lsl (attempt - 1)));
-            go (attempt + 1)
+              Unix.sleepf
+                (Float.min
+                   (policy.backoff_s *. float_of_int (1 lsl (attempt - 1)))
+                   (remaining ()));
+            (* the sleep itself may have drained the budget: re-attempting
+               then would start work it has no time to finish *)
+            if remaining () > 0. then go (attempt + 1) else fail attempt e
           end
-          else begin
-            match e with
-            | Deadline_exceeded ->
-                Some
-                  (Sim_error.Array_timeout
-                     {
-                       array_id = i;
-                       attempts = attempt;
-                       deadline_s = Option.value policy.deadline_s ~default:0.;
-                     })
-            | e ->
-                Some
-                  (Sim_error.Array_crashed
-                     { array_id = i; attempts = attempt; detail = Printexc.to_string e })
-          end
+          else fail attempt e
     in
     outcomes.(i) <- go 1
   in

@@ -49,7 +49,12 @@ val check_deadline : deadline -> unit
 type policy = {
   deadline_s : float option;  (** Per-attempt wall-clock budget; [None] = unbounded. *)
   retries : int;  (** Re-attempts after the first failure. *)
-  backoff_s : float;  (** Base backoff; attempt [k] sleeps [backoff_s * 2^(k-1)]. *)
+  backoff_s : float;
+      (** Base backoff; attempt [k] sleeps [backoff_s * 2^(k-1)] — but
+          with a deadline the sleep never exceeds what is left of the
+          item's total budget [deadline_s * (retries + 1)], and a retry
+          whose budget is already spent is skipped entirely: the
+          supervisor cannot sleep past the deadline it enforces. *)
 }
 
 val default_policy : policy

@@ -24,6 +24,11 @@ type t =
   | Stream_failed of { detail : string }
       (** The input stream cannot be opened, read, or (for resume)
           seeked. *)
+  | Deadline_expired of { waited_s : float; deadline_s : float }
+      (** The request's whole deadline was already spent while it sat in
+          the service admission queue — it never started executing.  A
+          symptom of overload, not of the stream itself (contrast with
+          {!Array_timeout}, which quarantines). *)
 
 exception Error of t
 (** The carrier used by streaming/checkpoint code paths; supervised
@@ -39,3 +44,18 @@ val array_id : t -> int option
 
 val message : t -> string
 val pp : Format.formatter -> t -> unit
+
+(** {1 Wire codec}
+
+    The match service ships failures to clients as values, not rendered
+    strings, so the client can react in a typed way (retry on timeout,
+    give up on corruption).  The encoding is self-contained binary —
+    little-endian, length-prefixed strings, floats as their exact
+    IEEE-754 bits — so [of_wire (to_wire e) = Ok e] for every [e],
+    including float fields with no finite decimal representation. *)
+
+val to_wire : t -> string
+
+val of_wire : string -> (t, string) result
+(** [Error detail] on truncation, an unknown tag, or trailing bytes —
+    never an exception, since the bytes arrive from the network. *)

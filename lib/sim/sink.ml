@@ -33,6 +33,81 @@ let stall_trace ~num_arrays =
   (spec, fun () -> traces)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming latency histogram: geometric buckets, O(1) memory per
+   observation, mergeable.  The match service feeds one per stream
+   class with request enqueue->finish latencies and reads p50/p95/p99
+   out of it without ever storing individual samples. *)
+
+module Latency = struct
+  (* bucket k covers [floor_s * ratio^k, floor_s * ratio^(k+1)); with a
+     1 us floor and ~7% ratio, 384 buckets reach past an hour *)
+  let floor_s = 1e-6
+  let ratio = 1.07
+  let log_ratio = Float.log ratio
+  let buckets = 384
+
+  type t = {
+    counts : int array;
+    mutable total : int;
+    mutable sum_s : float;
+    mutable max_s : float;
+  }
+
+  let create () = { counts = Array.make buckets 0; total = 0; sum_s = 0.; max_s = 0. }
+
+  let bucket_of x =
+    if x <= floor_s then 0
+    else min (buckets - 1) (1 + int_of_float (Float.log (x /. floor_s) /. log_ratio))
+
+  (* upper edge of bucket k: every sample in k is <= this, so quantiles
+     read from edges are conservative (never under-reported) *)
+  let upper_edge k =
+    if k = 0 then floor_s else floor_s *. (ratio ** float_of_int k)
+
+  let observe h x =
+    let x = Float.max 0. x in
+    let k = bucket_of x in
+    h.counts.(k) <- h.counts.(k) + 1;
+    h.total <- h.total + 1;
+    h.sum_s <- h.sum_s +. x;
+    if x > h.max_s then h.max_s <- x
+
+  let count h = h.total
+  let mean_s h = if h.total = 0 then 0. else h.sum_s /. float_of_int h.total
+  let max_s h = h.max_s
+
+  let quantile h q =
+    if h.total = 0 then 0.
+    else begin
+      let rank =
+        max 1 (int_of_float (Float.round (q *. float_of_int h.total)))
+      in
+      let rec find k seen =
+        if k >= buckets then h.max_s
+        else
+          let seen = seen + h.counts.(k) in
+          if seen >= rank then Float.min (upper_edge k) h.max_s else find (k + 1) seen
+      in
+      find 0 0
+    end
+
+  let merge_into ~dst src =
+    Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+    dst.total <- dst.total + src.total;
+    dst.sum_s <- dst.sum_s +. src.sum_s;
+    if src.max_s > dst.max_s then dst.max_s <- src.max_s
+
+  let to_json h =
+    Printf.sprintf
+      {|{"count": %d, "mean_ms": %.3f, "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "max_ms": %.3f}|}
+      h.total (1e3 *. mean_s h)
+      (1e3 *. quantile h 0.50)
+      (1e3 *. quantile h 0.95)
+      (1e3 *. quantile h 0.99)
+      (1e3 *. h.max_s)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Per-symbol metrics trace: active states, stalls, reports, cross
    signals and the full energy breakdown, as CSV or JSON.  Rows are
    buffered per array and emitted in array order, so the dump is

@@ -36,6 +36,33 @@ val stall_trace : num_arrays:int -> spec * (unit -> int array array)
 (** Per-array per-symbol stall schedule (what {!Bank_sim.run} consumes).
     Read the result only after the run completes. *)
 
+(** Streaming latency histogram — the SLO instrument of the match
+    service.  Geometric buckets (1 µs floor, ~7% resolution, reaching
+    past an hour) keep memory constant no matter how many requests are
+    observed; quantiles are read from bucket upper edges, so a reported
+    p99 never understates the true p99 by more than one bucket width.
+    Not a {!spec}: latencies are per {e request}, not per symbol, so the
+    service feeds it directly rather than through the event stream. *)
+module Latency : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  (** Record one latency in seconds (negative values clamp to 0). *)
+
+  val count : t -> int
+  val mean_s : t -> float
+  val max_s : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h 0.99] is the p99 in seconds; 0 when empty. *)
+
+  val merge_into : dst:t -> t -> unit
+
+  val to_json : t -> string
+  (** [{"count": .., "mean_ms": .., "p50_ms": .., "p95_ms": .., "p99_ms": .., "max_ms": ..}] *)
+end
+
 type trace_format = Csv | Json
 
 val trace_format_of_path : string -> trace_format

@@ -272,6 +272,26 @@ let test_supervised_deadline () =
   | _ -> fail "hung item must quarantine as Array_timeout");
   check bool "others fine" true (outcomes.(1) = None && outcomes.(2) = None)
 
+(* regression: with a huge backoff and a small deadline, the retry
+   sleeps must be capped at the remaining deadline budget.  Before the
+   fix, 3 retries at backoff 5s slept 5+10+20 = 35s for an item whose
+   whole budget was 80ms. *)
+let test_supervised_backoff_capped_by_deadline () =
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Scheduler.supervised_for ~jobs:1
+      ~policy:{ Scheduler.deadline_s = Some 0.02; retries = 3; backoff_s = 5. }
+      1
+      (fun ~deadline:_ ~attempt:_ _ -> failwith "always fails")
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  check bool (Printf.sprintf "wall %.3fs bounded by deadline budget, not backoff" wall) true
+    (wall < 1.);
+  match outcomes.(0) with
+  | Some (Sim_error.Array_crashed _) -> ()
+  | Some e -> fail ("wrong outcome: " ^ Sim_error.message e)
+  | None -> fail "persistently failing item must quarantine"
+
 let test_parallel_for_fail_fast () =
   let executed = Atomic.make 0 in
   let raised =
@@ -530,6 +550,8 @@ let suite =
     test_case "supervised retry then success" `Quick test_supervised_retry_then_success;
     test_case "supervised quarantine" `Quick test_supervised_quarantine;
     test_case "supervised deadline" `Quick test_supervised_deadline;
+    test_case "supervised backoff capped by deadline" `Quick
+      test_supervised_backoff_capped_by_deadline;
     test_case "parallel_for fails fast" `Quick test_parallel_for_fail_fast;
     test_case "runner quarantines a crashing array" `Quick test_runner_quarantine;
     QCheck_alcotest.to_alcotest prop_session_equals_find_all;

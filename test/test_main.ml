@@ -16,6 +16,7 @@ let () =
       ("exec", Test_exec.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("batch", Test_batch.suite);
+      ("service", Test_service.suite);
       ("cache", Test_cache.suite);
       ("stream", Test_stream.suite);
       ("fault", Test_fault.suite);

@@ -1,0 +1,521 @@
+(* The always-on match service: wire protocol totality and round-trips,
+   admission control under overload, deadline enforcement, quarantine,
+   crash-recovery spooling, and the latency histogram.  The load-bearing
+   property rides PR 5's contract one layer up: whatever the service
+   sheds, expires, or replays around them, accepted requests' reports
+   are bit-identical to solo [Runner.run] of the same input. *)
+
+open Alcotest
+
+let params = Program.default_params
+let rap = Arch.rap ~bv_depth:params.Program.bv_depth
+let rules = [ "ab{3,10}c"; "evil.{0,8}sig"; "x[yz]{3,9}w" ]
+
+let placement () =
+  let parsed = List.map (fun src -> (src, Parser.parse_exn src)) rules in
+  let units, errs = Runner.compile_for rap ~params parsed in
+  check int "rules compile" 0 (List.length errs);
+  Runner.place rap ~params units
+
+let solo p input = Runner.run ~jobs:1 rap ~params p ~input
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rap-service-test-%d-%d" (Unix.getpid ()) !counter)
+
+let config ?(capacity = 4) ?(quarantine_after = 2) ?state_dir () =
+  {
+    Admission.default_config with
+    Admission.capacity;
+    quarantine_after;
+    state_dir;
+    retries = 0;
+    backoff_s = 0.;
+  }
+
+let inputs_alphabet = "abcevilsigxyzw "
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let test_wire_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match Wire.decode_request (Wire.encode_request r) with
+      | Ok r' -> check bool "request round-trips" true (r = r')
+      | Error e -> fail ("request failed to decode: " ^ e))
+    [
+      Wire.Open { name = "s1"; class_ = Wire.Interactive; deadline_s = Some 0.25 };
+      Wire.Open { name = ""; class_ = Wire.Bulk; deadline_s = None };
+      Wire.Chunk "payload \x00\xff bytes";
+      Wire.Chunk "";
+      Wire.Finish;
+      Wire.Stats;
+      Wire.Ping;
+      Wire.Shutdown;
+    ]
+
+let test_wire_reply_roundtrip () =
+  List.iter
+    (fun r ->
+      match Wire.decode_reply (Wire.encode_reply r) with
+      | Ok r' -> check bool "reply round-trips" true (r = r')
+      | Error e -> fail ("reply failed to decode: " ^ e))
+    [
+      Wire.Accepted { id = 42 };
+      Wire.Overloaded { depth = 64; capacity = 64; retry_after_s = 0.125 };
+      Wire.Quarantined { name = "bad"; faults = 3 };
+      Wire.Rejected { reason = "too large" };
+      Wire.Report { id = 7; degraded = 2; text = "report\ntext\n" };
+      Wire.Failed
+        { id = 9; error = Sim_error.Array_timeout { array_id = 1; attempts = 3; deadline_s = 0.1 } };
+      Wire.Stats_ok { json = "{}" };
+      Wire.Pong;
+      Wire.Shutting_down;
+    ]
+
+(* decoders must be total: random bytes never raise, and truncating a
+   valid encoding never raises either *)
+let prop_wire_decode_total =
+  let open QCheck2 in
+  Test.make ~count:500 ~name:"wire decoders are total on arbitrary bytes"
+    Gen.(string_size ~gen:(Gen.map Char.chr (0 -- 255)) (0 -- 64))
+    (fun bytes ->
+      (match Wire.decode_request bytes with Ok _ | Error _ -> true)
+      && (match Wire.decode_reply bytes with Ok _ | Error _ -> true))
+
+let prop_wire_truncation_is_error =
+  let open QCheck2 in
+  Test.make ~count:100 ~name:"truncated frames decode to Error, never raise"
+    Gen.(pair (0 -- 20) (0 -- 100))
+    (fun (id, cut_pct) ->
+      let full =
+        Wire.encode_reply (Wire.Report { id; degraded = 1; text = "some report text" })
+      in
+      let cut = String.length full * cut_pct / 100 in
+      let truncated = String.sub full 0 (min cut (String.length full - 1)) in
+      match Wire.decode_reply truncated with Ok _ -> false | Error _ -> true)
+
+(* incremental reader: frames fed a byte at a time come out whole *)
+let test_reader_reassembles () =
+  let payloads = [ "alpha"; ""; "beta gamma"; String.make 1000 'x' ] in
+  let wire = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_le hdr 0 (Int32.of_int (String.length p));
+      Buffer.add_bytes wire hdr;
+      Buffer.add_string wire p)
+    payloads;
+  let r = Wire.create_reader () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Wire.reader_feed r (Bytes.make 1 c) 1;
+      let rec drain () =
+        match Wire.reader_next r with
+        | Ok (Some p) ->
+            got := p :: !got;
+            drain ()
+        | Ok None -> ()
+        | Error e -> fail e
+      in
+      drain ())
+    (Buffer.contents wire);
+  check (list string) "all frames reassembled" payloads (List.rev !got)
+
+let test_reader_oversize () =
+  let r = Wire.create_reader ~max_frame:16 () in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_le hdr 0 1000l;
+  Wire.reader_feed r hdr 4;
+  (match Wire.reader_next r with
+  | Error _ -> ()
+  | Ok _ -> fail "oversized declared length must be an error")
+
+(* ------------------------------------------------------------------ *)
+(* Sim_error wire round-trip *)
+
+let gen_sim_error =
+  let open QCheck2.Gen in
+  let str = string_size ~gen:printable (0 -- 40) in
+  let fin = map (fun f -> if Float.is_nan f then 1.5 else f) float in
+  oneof
+    [
+      map3
+        (fun array_id attempts detail -> Sim_error.Array_crashed { array_id; attempts; detail })
+        (0 -- 1000) (0 -- 10) str;
+      map3
+        (fun array_id attempts deadline_s ->
+          Sim_error.Array_timeout { array_id; attempts; deadline_s })
+        (0 -- 1000) (0 -- 10) fin;
+      map2 (fun path detail -> Sim_error.Checkpoint_corrupt { path; detail }) str str;
+      map (fun detail -> Sim_error.Checkpoint_mismatch { detail }) str;
+      map (fun detail -> Sim_error.Stream_failed { detail }) str;
+      map2 (fun waited_s deadline_s -> Sim_error.Deadline_expired { waited_s; deadline_s }) fin fin;
+    ]
+
+let prop_sim_error_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"Sim_error.of_wire (to_wire e) = Ok e (exact floats)"
+    gen_sim_error
+    (fun e -> Sim_error.of_wire (Sim_error.to_wire e) = Ok e)
+
+let test_sim_error_wire_rejects_garbage () =
+  (match Sim_error.of_wire "" with Error _ -> () | Ok _ -> fail "empty must not decode");
+  (match Sim_error.of_wire "\xff garbage" with
+  | Error _ -> ()
+  | Ok _ -> fail "unknown tag must not decode");
+  let valid = Sim_error.to_wire (Sim_error.Stream_failed { detail = "d" }) in
+  (match Sim_error.of_wire (valid ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> fail "trailing bytes must not decode")
+
+(* ------------------------------------------------------------------ *)
+(* Admission: overload sheds typed, accepted stays bit-identical *)
+
+let test_admission_overflow_typed () =
+  let p = placement () in
+  let adm = Admission.create (config ~capacity:2 ()) rap ~params p in
+  let submit i =
+    Admission.submit adm ~name:(Printf.sprintf "s%d" i) ~class_:Wire.Bulk ~input:"abbbc"
+  in
+  (match submit 0 with Ok _ -> () | Error _ -> fail "first must be accepted");
+  (match submit 1 with Ok _ -> () | Error _ -> fail "second must be accepted");
+  (match submit 2 with
+  | Error (Admission.Queue_full { depth; capacity; _ }) ->
+      check int "reported depth" 2 depth;
+      check int "reported capacity" 2 capacity
+  | Ok _ -> fail "third must shed"
+  | Error r -> fail ("wrong rejection: " ^ Admission.reject_message r));
+  check int "shed counted" 1 (Admission.shed_count adm);
+  (* capacity frees as the queue drains *)
+  let outcomes = Admission.run_pending adm in
+  check int "both accepted requests ran" 2 (List.length outcomes);
+  (match submit 3 with Ok _ -> () | Error _ -> fail "drained queue admits again");
+  ignore (Admission.run_pending adm)
+
+(* QCheck: whatever mix of requests is shed at a full queue, the
+   accepted ones' reports are structurally identical to solo runs, and
+   their rendered text is the canonical rendering *)
+let prop_shed_never_corrupts =
+  let open QCheck2 in
+  let gen_char = Gen.oneofl (List.init (String.length inputs_alphabet) (String.get inputs_alphabet)) in
+  let gen_input = Gen.(string_size ~gen:gen_char (0 -- 120)) in
+  let gen = Gen.(pair (list_size (1 -- 10) gen_input) (1 -- 3)) in
+  Test.make ~count:20 ~name:"shed requests never corrupt in-flight reports" gen
+    (fun (inputs, capacity) ->
+      let p = placement () in
+      let adm = Admission.create (config ~capacity ()) rap ~params p in
+      let submitted =
+        List.mapi
+          (fun i input ->
+            ( input,
+              Admission.submit adm ~name:(Printf.sprintf "s%d" i) ~class_:Wire.Bulk ~input ))
+          inputs
+      in
+      let accepted =
+        List.filter_map
+          (fun (input, r) -> match r with Ok id -> Some (id, input) | Error _ -> None)
+          submitted
+      in
+      let shed = List.length submitted - List.length accepted in
+      let outcomes = Admission.run_pending adm in
+      shed = max 0 (List.length inputs - capacity)
+      && List.length outcomes = List.length accepted
+      && List.for_all
+           (fun (o : Admission.outcome) ->
+             let input = List.assoc o.Admission.o_id accepted in
+             let r = solo p input in
+             o.Admission.o_report = Some r
+             && o.Admission.o_text = Runner.render_report r
+             && o.Admission.o_error = None)
+           outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines *)
+
+let test_deadline_expired_in_queue () =
+  let p = placement () in
+  let adm = Admission.create (config ()) rap ~params p in
+  (* enqueued a minute ago with a 10ms deadline: wholly spent queued *)
+  (match
+     Admission.submit ~deadline_s:0.01
+       ~enqueued_at:(Unix.gettimeofday () -. 60.)
+       adm ~name:"late" ~class_:Wire.Interactive ~input:"abbbc"
+   with
+  | Ok _ -> ()
+  | Error _ -> fail "expired-deadline request is still admitted");
+  match Admission.run_pending adm with
+  | [ o ] -> (
+      match o.Admission.o_error with
+      | Some (Sim_error.Deadline_expired { waited_s; deadline_s }) ->
+          check bool "waited >= 60s" true (waited_s >= 60.);
+          check (float 1e-9) "deadline echoed" 0.01 deadline_s;
+          check bool "no report produced" true (o.Admission.o_report = None);
+          (* queue expiry is the server's fault: no quarantine *)
+          check (list (pair string int)) "not quarantined" [] (Admission.quarantined adm)
+      | other ->
+          fail
+            (match other with
+            | Some e -> "wrong error: " ^ Sim_error.message e
+            | None -> "expired request must not execute"))
+  | outcomes -> fail (Printf.sprintf "expected 1 outcome, got %d" (List.length outcomes))
+
+let test_deadline_propagates_supervision () =
+  let p = placement () in
+  let adm = Admission.create (config ()) rap ~params p in
+  (* a deadline far too small for this input: the supervised run must
+     degrade (quarantined arrays) or time out — never hang, never crash *)
+  let input = String.concat "" (List.init 4000 (fun _ -> "abbbc evilsig xyzzzw ")) in
+  (match
+     Admission.submit ~deadline_s:0.002 adm ~name:"tight" ~class_:Wire.Interactive ~input
+   with
+  | Ok _ -> ()
+  | Error r -> fail (Admission.reject_message r));
+  match Admission.run_pending adm with
+  | [ o ] -> (
+      match (o.Admission.o_error, o.Admission.o_report) with
+      | Some (Sim_error.Deadline_expired _), _ ->
+          fail "deadline was not spent in queue; it must reach execution"
+      | Some _, _ -> ()
+      | None, Some r ->
+          check bool "timed-out run degrades" true (r.Runner.degraded <> [])
+      | None, None -> fail "no error and no report")
+  | outcomes -> fail (Printf.sprintf "expected 1 outcome, got %d" (List.length outcomes))
+
+(* generous deadline: the supervised solo path must still be
+   bit-identical to the unsupervised solo run *)
+let test_deadline_clean_run_identical () =
+  let p = placement () in
+  let adm = Admission.create (config ()) rap ~params p in
+  let input = "abbbc evilsig xyzzzw" in
+  (match Admission.submit ~deadline_s:600. adm ~name:"ok" ~class_:Wire.Interactive ~input with
+  | Ok _ -> ()
+  | Error r -> fail (Admission.reject_message r));
+  match Admission.run_pending adm with
+  | [ o ] ->
+      check bool "clean deadline run is bit-identical" true
+        (o.Admission.o_report = Some (solo p input))
+  | outcomes -> fail (Printf.sprintf "expected 1 outcome, got %d" (List.length outcomes))
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine *)
+
+let test_quarantine_after_repeated_faults () =
+  let p = placement () in
+  let adm = Admission.create (config ~quarantine_after:2 ()) rap ~params p in
+  let input = String.concat "" (List.init 4000 (fun _ -> "abbbc evilsig xyzzzw ")) in
+  let fault () =
+    match Admission.submit ~deadline_s:0.002 adm ~name:"flaky" ~class_:Wire.Interactive ~input with
+    | Ok _ -> ignore (Admission.run_pending adm)
+    | Error r -> fail ("faulting request not admitted: " ^ Admission.reject_message r)
+  in
+  fault ();
+  fault ();
+  (match Admission.submit adm ~name:"flaky" ~class_:Wire.Bulk ~input:"abbbc" with
+  | Error (Admission.Quarantined_name { name; faults }) ->
+      check string "quarantined name" "flaky" name;
+      check bool "fault count >= threshold" true (faults >= 2)
+  | Ok _ -> fail "third request from a faulting stream must be refused"
+  | Error r -> fail ("wrong rejection: " ^ Admission.reject_message r));
+  (* other streams are unaffected *)
+  (match Admission.submit adm ~name:"healthy" ~class_:Wire.Bulk ~input:"abbbc" with
+  | Ok _ -> ()
+  | Error _ -> fail "quarantine must be per stream name");
+  let outcomes = Admission.run_pending adm in
+  check int "healthy stream still served" 1 (List.length outcomes)
+
+let test_too_large_rejected () =
+  let p = placement () in
+  let cfg = { (config ()) with Admission.max_input = 8 } in
+  let adm = Admission.create cfg rap ~params p in
+  match Admission.submit adm ~name:"big" ~class_:Wire.Bulk ~input:"123456789" with
+  | Error (Admission.Too_large { bytes; limit }) ->
+      check int "bytes" 9 bytes;
+      check int "limit" 8 limit
+  | Ok _ -> fail "over-limit input must be refused"
+  | Error r -> fail ("wrong rejection: " ^ Admission.reject_message r)
+
+(* ------------------------------------------------------------------ *)
+(* Spool + crash recovery *)
+
+let test_spool_roundtrip () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let e =
+        {
+          Checkpoint.Spool.sp_id = 3;
+          sp_name = "stream/a";
+          sp_class = "interactive";
+          sp_deadline_s = Some 1.5;
+          sp_input = "payload \x00 bytes";
+        }
+      in
+      Checkpoint.Spool.save ~dir e;
+      (match Checkpoint.Spool.load ~dir ~id:3 with
+      | Ok (Some e') -> check bool "entry round-trips" true (e = e')
+      | Ok None -> fail "saved entry must load"
+      | Error err -> fail (Sim_error.message err));
+      (match Checkpoint.Spool.load ~dir ~id:99 with
+      | Ok None -> ()
+      | _ -> fail "missing id must be Ok None");
+      let e2 = { e with Checkpoint.Spool.sp_id = 1; sp_deadline_s = None } in
+      Checkpoint.Spool.save ~dir e2;
+      let entries, errors = Checkpoint.Spool.list ~dir in
+      check int "no list errors" 0 (List.length errors);
+      check (list int) "ascending ids"
+        [ 1; 3 ]
+        (List.map (fun (x : Checkpoint.Spool.entry) -> x.Checkpoint.Spool.sp_id) entries);
+      Checkpoint.Spool.remove ~dir ~id:3;
+      let entries, _ = Checkpoint.Spool.list ~dir in
+      check (list int) "removed" [ 1 ]
+        (List.map (fun (x : Checkpoint.Spool.entry) -> x.Checkpoint.Spool.sp_id) entries))
+
+let test_spool_corrupt_rejected () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let e =
+        {
+          Checkpoint.Spool.sp_id = 1;
+          sp_name = "s";
+          sp_class = "bulk";
+          sp_deadline_s = None;
+          sp_input = String.make 100 'q';
+        }
+      in
+      Checkpoint.Spool.save ~dir e;
+      let path = Checkpoint.Spool.path ~dir ~id:1 in
+      let bytes = In_channel.with_open_bin path In_channel.input_all in
+      let flipped = Bytes.of_string bytes in
+      Bytes.set flipped (Bytes.length flipped / 2)
+        (Char.chr (Char.code (Bytes.get flipped (Bytes.length flipped / 2)) lxor 0x5a));
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc flipped);
+      (match Checkpoint.Spool.load ~dir ~id:1 with
+      | Error (Sim_error.Checkpoint_corrupt _) -> ()
+      | Error e -> fail ("wrong error: " ^ Sim_error.message e)
+      | Ok _ -> fail "corrupt spool entry must be rejected");
+      let entries, errors = Checkpoint.Spool.list ~dir in
+      check int "corrupt entry skipped" 0 (List.length entries);
+      check int "and reported" 1 (List.length errors))
+
+(* crash recovery end to end, in-process: admit with a state dir, "crash"
+   (drop the Admission.t without running), recover in a fresh instance,
+   and require the replayed report file to be byte-identical to solo *)
+let test_recover_replays_spool () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let p = placement () in
+      let input = "abbbc evilsig xyzzzw abbbbc" in
+      let adm1 = Admission.create (config ~state_dir:dir ()) rap ~params p in
+      let id =
+        match Admission.submit adm1 ~name:"crashme" ~class_:Wire.Bulk ~input with
+        | Ok id -> id
+        | Error r -> fail (Admission.reject_message r)
+      in
+      (* the daemon dies here: adm1 is dropped with the request spooled *)
+      let adm2 = Admission.create (config ~state_dir:dir ()) rap ~params p in
+      let outcomes = Admission.recover adm2 in
+      check int "one request replayed" 1 (List.length outcomes);
+      let o = List.hd outcomes in
+      check bool "replayed as recovered" true o.Admission.o_recovered;
+      check bool "replayed report is bit-identical" true
+        (o.Admission.o_report = Some (solo p input));
+      let report_file = Checkpoint.Spool.report_path ~dir ~id in
+      check bool "report file written" true (Sys.file_exists report_file);
+      let text = In_channel.with_open_bin report_file In_channel.input_all in
+      check string "report file byte-identical to canonical rendering"
+        (Runner.render_report (solo p input))
+        text;
+      let entries, _ = Checkpoint.Spool.list ~dir in
+      check int "spool entry consumed" 0 (List.length entries);
+      (* fresh ids continue past the recovered one *)
+      match Admission.submit adm2 ~name:"next" ~class_:Wire.Bulk ~input:"abbbc" with
+      | Ok id2 -> check bool "ids advance past recovered" true (id2 > id)
+      | Error r -> fail (Admission.reject_message r))
+
+(* ------------------------------------------------------------------ *)
+(* Latency histogram *)
+
+let test_latency_quantiles () =
+  let h = Sink.Latency.create () in
+  check (float 0.) "empty quantile" 0. (Sink.Latency.quantile h 0.99);
+  List.iter (fun v -> Sink.Latency.observe h v) [ 0.001; 0.002; 0.003; 0.004; 0.100 ];
+  check int "count" 5 (Sink.Latency.count h);
+  let p50 = Sink.Latency.quantile h 0.5 in
+  let p95 = Sink.Latency.quantile h 0.95 in
+  let p99 = Sink.Latency.quantile h 0.99 in
+  (* geometric buckets (ratio 1.07): a quantile lands within one bucket
+     of the true value, and the tail is clipped to the observed max *)
+  check bool "p50 near median" true (p50 >= 0.002 && p50 <= 0.003 *. 1.07);
+  check bool "quantiles monotone" true (p50 <= p95 && p95 <= p99);
+  check bool "tail clipped to max" true (p99 <= Sink.Latency.max_s h +. 1e-12);
+  check (float 1e-9) "max tracked" 0.1 (Sink.Latency.max_s h);
+  check bool "mean sane" true (Float.abs (Sink.Latency.mean_s h -. 0.022) < 1e-6)
+
+let test_latency_merge () =
+  let a = Sink.Latency.create () in
+  let b = Sink.Latency.create () in
+  List.iter (fun v -> Sink.Latency.observe a v) [ 0.001; 0.002 ];
+  List.iter (fun v -> Sink.Latency.observe b v) [ 0.050; 0.060 ];
+  Sink.Latency.merge_into ~dst:a b;
+  check int "merged count" 4 (Sink.Latency.count a);
+  check (float 1e-9) "merged max" 0.06 (Sink.Latency.max_s a);
+  check bool "merged p99 in the slow half" true (Sink.Latency.quantile a 0.99 >= 0.05)
+
+let prop_latency_quantile_bounds =
+  let open QCheck2 in
+  Test.make ~count:100 ~name:"histogram quantiles bounded by observations"
+    Gen.(list_size (1 -- 50) (map (fun f -> Float.abs f +. 1e-9) (float_bound_exclusive 10.)))
+    (fun values ->
+      let h = Sink.Latency.create () in
+      List.iter (Sink.Latency.observe h) values;
+      let vmax = List.fold_left Float.max 0. values in
+      List.for_all
+        (fun q ->
+          let v = Sink.Latency.quantile h q in
+          v >= 0. && v <= vmax +. 1e-12)
+        [ 0.5; 0.95; 0.99; 1.0 ])
+
+let suite =
+  [
+    test_case "wire: request round-trip" `Quick test_wire_request_roundtrip;
+    test_case "wire: reply round-trip" `Quick test_wire_reply_roundtrip;
+    QCheck_alcotest.to_alcotest prop_wire_decode_total;
+    QCheck_alcotest.to_alcotest prop_wire_truncation_is_error;
+    test_case "wire: incremental reader reassembles" `Quick test_reader_reassembles;
+    test_case "wire: oversized frame rejected" `Quick test_reader_oversize;
+    QCheck_alcotest.to_alcotest prop_sim_error_roundtrip;
+    test_case "sim_error: garbage rejected" `Quick test_sim_error_wire_rejects_garbage;
+    test_case "admission: overflow sheds typed" `Quick test_admission_overflow_typed;
+    QCheck_alcotest.to_alcotest prop_shed_never_corrupts;
+    test_case "deadline: expired in queue" `Quick test_deadline_expired_in_queue;
+    test_case "deadline: propagates into supervision" `Quick test_deadline_propagates_supervision;
+    test_case "deadline: clean run bit-identical" `Quick test_deadline_clean_run_identical;
+    test_case "quarantine: repeated faults refuse the name" `Quick
+      test_quarantine_after_repeated_faults;
+    test_case "admission: over-limit input refused" `Quick test_too_large_rejected;
+    test_case "spool: round-trip and listing" `Quick test_spool_roundtrip;
+    test_case "spool: corruption rejected" `Quick test_spool_corrupt_rejected;
+    test_case "recovery: spool replays bit-identical" `Quick test_recover_replays_spool;
+    test_case "latency: quantiles" `Quick test_latency_quantiles;
+    test_case "latency: merge" `Quick test_latency_merge;
+    QCheck_alcotest.to_alcotest prop_latency_quantile_bounds;
+  ]
