@@ -178,26 +178,21 @@ let to_sim_error = function
   | Sim_error.Error e -> e
   | e -> Sim_error.Stream_failed { detail = Printexc.to_string e }
 
-(* Request-level supervision: re-run a whole failed request with
-   exponential backoff, the sleeps capped at what is left of the
-   request's deadline (mirroring the scheduler's own cap). *)
-let with_retries t ~deadline_total ~started_at k =
-  let remaining () =
-    match deadline_total with
-    | None -> infinity
-    | Some d -> d -. (Unix.gettimeofday () -. started_at)
-  in
+(* Request-level supervision for deadline-free requests only: re-run a
+   whole failed request with exponential backoff.  Deadline-carrying
+   requests never come through here — their retry budget lives inside
+   Scheduler.supervised_for, where the remaining deadline bounds every
+   attempt and sleep; a second retry layer on top would multiply the
+   client's end-to-end deadline by the retry count. *)
+let with_retries t k =
   let rec go attempt =
     match k () with
     | r -> Ok r
     | exception e ->
-        if attempt <= t.cfg.retries && remaining () > 0. then begin
+        if attempt <= t.cfg.retries then begin
           if t.cfg.backoff_s > 0. then
-            Unix.sleepf
-              (Float.min
-                 (t.cfg.backoff_s *. float_of_int (1 lsl (attempt - 1)))
-                 (Float.max 0. (remaining ())));
-          if remaining () > 0. then go (attempt + 1) else Error (to_sim_error e)
+            Unix.sleepf (t.cfg.backoff_s *. float_of_int (1 lsl (attempt - 1)));
+          go (attempt + 1)
         end
         else Error (to_sim_error e)
   in
@@ -243,26 +238,31 @@ let book_outcome t (o : outcome) =
            | Some r when r.Runner.degraded <> [] -> "degraded"
            | _ -> "ok"))
        (1e3 *. o.o_latency_s));
-  (* the outcome is now the caller's: the reply (or the recovery report
-     file) supersedes the spool entry *)
+  (* The spool covers an accepted request until its result is durable,
+     not merely computed: persist the report file for EVERY spooled
+     outcome before removing the entry, so a crash between execution
+     and the reply reaching the client cannot lose the result — the
+     live reply then duplicates what the state dir already holds.
+     Temp-write + rename keeps a crash mid-write from leaving a torn
+     report beside a consumed spool entry. *)
   (match t.cfg.state_dir with
   | None -> ()
   | Some dir ->
-      if o.o_recovered then begin
-        let path = Checkpoint.Spool.report_path ~dir ~id:o.o_id in
-        let text =
-          if o.o_text <> "" then o.o_text
-          else
-            Printf.sprintf "failed: %s\n"
-              (match o.o_error with Some e -> Sim_error.message e | None -> "unknown")
-        in
-        try
-          let oc = open_out path in
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () -> output_string oc text)
-        with Sys_error _ -> ()
-      end;
+      let path = Checkpoint.Spool.report_path ~dir ~id:o.o_id in
+      let text =
+        if o.o_text <> "" then o.o_text
+        else
+          Printf.sprintf "failed: %s\n"
+            (match o.o_error with Some e -> Sim_error.message e | None -> "unknown")
+      in
+      (try
+         let tmp = path ^ ".tmp" in
+         let oc = open_out tmp in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () -> output_string oc text);
+         Sys.rename tmp path
+       with Sys_error _ -> ());
       Checkpoint.Spool.remove ~dir ~id:o.o_id)
 
 let outcome_of_report req ~started_at ~finished_at (report : Runner.report) =
@@ -320,7 +320,15 @@ let run_solo t req =
         Runner.run_stream ~jobs:t.cfg.jobs ?policy t.arch ~params:t.params t.placement
           ~stream
       in
-      let result = with_retries t ~deadline_total:deadline ~started_at run in
+      let result =
+        match policy with
+        | Some _ ->
+            (* single supervised pass: the scheduler owns the remaining
+               deadline as the whole retry budget — retrying here too
+               would run the same deadline several times over *)
+            (match run () with r -> Ok r | exception e -> Error (to_sim_error e))
+        | None -> with_retries t run
+      in
       let finished_at = Unix.gettimeofday () in
       (match result with
       | Ok report -> outcome_of_report req ~started_at ~finished_at report

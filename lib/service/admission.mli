@@ -25,11 +25,14 @@
 
     {b Deadlines} are propagated, not re-interpreted: the time a
     request spent queued is subtracted from its deadline and the
-    remainder becomes {!Scheduler.policy}'s per-attempt budget inside
-    {!Runner.run_stream}, so a request that times out degrades exactly
-    like PR 4's supervised runs (quarantined arrays, partial report,
-    [degraded] taxonomy).  A deadline wholly spent in the queue yields
-    a typed {!Sim_error.Deadline_expired} without executing at all.
+    remainder becomes {!Scheduler.policy}'s whole supervision budget
+    inside {!Runner.run_stream} — retries and backoff sleeps shrink
+    into what remains of it (and the request-level retry layer is
+    skipped entirely: one deadline, one retry budget), so a request
+    that times out degrades near its deadline exactly like PR 4's
+    supervised runs (quarantined arrays, partial report, [degraded]
+    taxonomy).  A deadline wholly spent in the queue yields a typed
+    {!Sim_error.Deadline_expired} without executing at all.
 
     {b Quarantine} is per stream name: [quarantine_after] consecutive
     faulted requests (a failed execution or a degraded report) and the
@@ -38,9 +41,12 @@
     stream's.
 
     {b Crash recovery}: accepted requests are spooled through
-    {!Checkpoint.Spool} before execution and removed when their outcome
-    is handed back; {!recover} replays whatever a killed daemon left
-    behind and writes each replayed report next to its spool entry,
+    {!Checkpoint.Spool} before execution; every spooled outcome's
+    report is persisted to {!Checkpoint.Spool.report_path} {e before}
+    its spool entry is removed, so a crash at any point between
+    admission and the reply reaching the transport leaves either the
+    request (replayed on restart) or its durable result on disk.
+    {!recover} replays whatever a killed daemon left behind,
     bit-identical to what the live reply would have carried. *)
 
 type config = {
@@ -102,8 +108,9 @@ val run_pending : ?max:int -> t -> outcome list
     and return their outcomes in completion order.  Deadline-free
     requests are multiplexed through {!Batch.run} in [group]-wide
     passes; deadline-carrying requests run solo under a supervised
-    {!Runner.run_stream} with the remaining deadline as the per-attempt
-    budget.  Never raises for per-request failures — they surface as
+    {!Runner.run_stream} with the remaining deadline as the whole
+    supervision budget (a single pass — no request-level retry on
+    top).  Never raises for per-request failures — they surface as
     [o_error]. *)
 
 val recover : t -> outcome list

@@ -40,6 +40,18 @@ type conn = {
 
 let setup_fail detail = raise (Sim_error.Error (Sim_error.Stream_failed { detail }))
 
+(* [dead] and the fd close travel together: a connection leaves the loop
+   only through here, so the daemon can never leak an fd by marking a
+   conn dead without closing it (and the dropped client sees EOF rather
+   than hanging on a socket nobody will ever write again).  Idempotent:
+   a dead conn's fd is already closed and must not be closed twice — the
+   number may have been reused. *)
+let close_conn conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ()
+  end
+
 let queue_reply cfg conn reply =
   let payload = Wire.encode_reply reply in
   let len = String.length payload in
@@ -51,7 +63,7 @@ let queue_reply cfg conn reply =
      slow reader; cut it loose rather than hold its replies in memory *)
   if Buffer.length conn.out - conn.out_off > cfg.write_budget then begin
     Log.warn (fun m -> m "dropping slow client (%d bytes buffered)" (Buffer.length conn.out));
-    conn.dead <- true
+    close_conn conn
   end
 
 let out_pending conn = Buffer.length conn.out - conn.out_off
@@ -67,12 +79,8 @@ let flush_conn conn =
           conn.out_off <- 0
         end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-    | exception Unix.Unix_error (_, _, _) -> conn.dead <- true
+    | exception Unix.Unix_error (_, _, _) -> close_conn conn
   end
-
-let close_conn conn =
-  conn.dead <- true;
-  (try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ())
 
 type state = {
   cfg : config;
@@ -257,7 +265,13 @@ let serve cfg arch ~params placement =
                  st.conns <-
                    {
                      fd;
-                     reader = Wire.create_reader ();
+                     (* frame limit: a single Chunk may legitimately carry a
+                        max_input-sized payload, plus codec overhead *)
+                     reader =
+                       Wire.create_reader
+                         ~max_frame:
+                           (st.cfg.admission.Admission.max_input + Wire.frame_slop)
+                         ();
                      out = Buffer.create 4096;
                      out_off = 0;
                      open_req = None;
@@ -268,7 +282,13 @@ let serve cfg arch ~params placement =
                  accept_all ()
              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
                -> ()
-             | exception Unix.Unix_error (_, _, _) -> ()
+             | exception Unix.Unix_error (e, _, _) ->
+                 (* a persistent accept failure (EMFILE, ...) leaves
+                    listen_fd readable, so select would return
+                    immediately every iteration: pause instead of
+                    busy-spinning the daemon at 100% CPU *)
+                 Log.warn (fun m -> m "accept: %s; backing off" (Unix.error_message e));
+                 Unix.sleepf 0.05
            in
            accept_all ()
          end;

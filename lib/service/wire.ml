@@ -28,7 +28,12 @@ type reply =
   | Pong
   | Shutting_down
 
-let default_max_frame = 64 * 1024 * 1024
+(* A frame carries the encoded message, not the bare payload: a Chunk at
+   the server's max_input adds a tag byte and a length prefix, so the
+   frame limit needs headroom over the input limit or a full-limit chunk
+   dies with a framing error instead of the typed Too_large shed. *)
+let frame_slop = 64
+let default_max_frame = (64 * 1024 * 1024) + frame_slop
 
 (* ---- primitive writers / readers (the Checkpoint codec vocabulary) ---- *)
 

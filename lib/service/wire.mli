@@ -61,8 +61,15 @@ type reply =
   | Pong
   | Shutting_down
 
+val frame_slop : int
+(** Codec overhead headroom a frame limit must add over a payload
+    limit: a [Chunk] at the admission layer's [max_input] encodes to
+    [max_input] plus a tag byte and a length prefix, and the frame
+    limit must admit it so an over-limit input sheds with the typed
+    [Too_large] reply, never a framing error. *)
+
 val default_max_frame : int
-(** 64 MiB. *)
+(** 64 MiB (the default admission [max_input]) + {!frame_slop}. *)
 
 (** {1 Pure codecs} *)
 

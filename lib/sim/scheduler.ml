@@ -65,19 +65,20 @@ let default_policy = { deadline_s = None; retries = 2; backoff_s = 0.05 }
 let supervised_for ~jobs ~policy n f =
   let outcomes = Array.make n None in
   let supervise i =
-    (* With a deadline, the item's whole supervision is bounded by one
-       attempt budget per allowed attempt.  Backoff sleeps count against
-       that budget: without the cap, a deadline_s=1 retries=3 backoff=5
-       policy would sleep 5+10+20 s between 1 s attempts — the
-       supervisor itself blowing the deadline it is there to enforce. *)
+    (* The deadline is the item's WHOLE supervision budget: every
+       attempt, and every backoff sleep between attempts, fits inside
+       the one deadline_s.  Retries shrink into what remains rather than
+       multiplying the bound — a caller that propagates an end-to-end
+       deadline down here gets work back near that deadline, not
+       (retries + 1) times it.  Backoff sleeps count against the same
+       budget: without the cap, a deadline_s=1 retries=3 backoff=5
+       policy would sleep 5+10+20 s between attempts — the supervisor
+       itself blowing the deadline it is there to enforce. *)
     let sup_start = Unix.gettimeofday () in
-    let budget =
-      Option.map (fun d -> d *. float_of_int (policy.retries + 1)) policy.deadline_s
-    in
     let remaining () =
-      match budget with
+      match policy.deadline_s with
       | None -> infinity
-      | Some b -> b -. (Unix.gettimeofday () -. sup_start)
+      | Some d -> d -. (Unix.gettimeofday () -. sup_start)
     in
     let fail attempt e =
       match e with
@@ -95,7 +96,12 @@ let supervised_for ~jobs ~policy n f =
                { array_id = i; attempts = attempt; detail = Printexc.to_string e })
     in
     let rec go attempt =
-      let deadline = { d_start = Unix.gettimeofday (); d_limit = policy.deadline_s } in
+      (* each attempt gets what is left of the item budget, not a fresh
+         full deadline *)
+      let now = Unix.gettimeofday () in
+      let deadline =
+        { d_start = now; d_limit = Option.map (fun d -> d -. (now -. sup_start)) policy.deadline_s }
+      in
       match f ~deadline ~attempt i with
       | () -> None
       | exception e ->

@@ -47,14 +47,18 @@ val check_deadline : deadline -> unit
 (** Raises {!Deadline_exceeded} once the attempt's budget is spent. *)
 
 type policy = {
-  deadline_s : float option;  (** Per-attempt wall-clock budget; [None] = unbounded. *)
+  deadline_s : float option;
+      (** Whole-item wall-clock budget across {e all} attempts and
+          backoff sleeps; [None] = unbounded.  Each retry runs under
+          what remains of the budget, so supervision finishes near one
+          deadline — never [deadline_s * (retries + 1)]. *)
   retries : int;  (** Re-attempts after the first failure. *)
   backoff_s : float;
       (** Base backoff; attempt [k] sleeps [backoff_s * 2^(k-1)] — but
           with a deadline the sleep never exceeds what is left of the
-          item's total budget [deadline_s * (retries + 1)], and a retry
-          whose budget is already spent is skipped entirely: the
-          supervisor cannot sleep past the deadline it enforces. *)
+          item's budget, and a retry whose budget is already spent is
+          skipped entirely: the supervisor cannot sleep past the
+          deadline it enforces. *)
 }
 
 val default_policy : policy

@@ -267,7 +267,9 @@ let test_supervised_deadline () =
   (match outcomes.(0) with
   | Some (Sim_error.Array_timeout { array_id; attempts; deadline_s }) ->
       check int "timed-out id" 0 array_id;
-      check int "deadline attempts" 2 attempts;
+      (* the deadline is a whole-item budget: a first attempt that spent
+         it all leaves nothing for a retry *)
+      check int "deadline attempts" 1 attempts;
       check (float 1e-9) "deadline recorded" 0.02 deadline_s
   | _ -> fail "hung item must quarantine as Array_timeout");
   check bool "others fine" true (outcomes.(1) = None && outcomes.(2) = None)
@@ -291,6 +293,32 @@ let test_supervised_backoff_capped_by_deadline () =
   | Some (Sim_error.Array_crashed _) -> ()
   | Some e -> fail ("wrong outcome: " ^ Sim_error.message e)
   | None -> fail "persistently failing item must quarantine"
+
+(* regression: deadline_s is the item's WHOLE supervision budget, with
+   retries shrinking into what remains of it.  Before the fix the budget
+   was deadline_s * (retries + 1), so a hung item under a 50ms deadline
+   with 2 retries supervised for ~150ms — three times the deadline the
+   caller propagated down. *)
+let test_supervised_deadline_is_total_budget () =
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Scheduler.supervised_for ~jobs:1
+      ~policy:{ Scheduler.deadline_s = Some 0.05; retries = 2; backoff_s = 0. }
+      1
+      (fun ~deadline ~attempt:_ _ ->
+        for _ = 1 to 1000 do
+          Unix.sleepf 0.002;
+          Scheduler.check_deadline deadline
+        done)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  check bool
+    (Printf.sprintf "wall %.3fs near one deadline, not (retries+1) of them" wall)
+    true (wall < 0.1);
+  match outcomes.(0) with
+  | Some (Sim_error.Array_timeout _) -> ()
+  | Some e -> fail ("wrong outcome: " ^ Sim_error.message e)
+  | None -> fail "hung item must time out"
 
 let test_parallel_for_fail_fast () =
   let executed = Atomic.make 0 in
@@ -552,6 +580,8 @@ let suite =
     test_case "supervised deadline" `Quick test_supervised_deadline;
     test_case "supervised backoff capped by deadline" `Quick
       test_supervised_backoff_capped_by_deadline;
+    test_case "supervised deadline is a total budget" `Quick
+      test_supervised_deadline_is_total_budget;
     test_case "parallel_for fails fast" `Quick test_parallel_for_fail_fast;
     test_case "runner quarantines a crashing array" `Quick test_runner_quarantine;
     QCheck_alcotest.to_alcotest prop_session_equals_find_all;

@@ -451,6 +451,35 @@ let test_recover_replays_spool () =
       | Ok id2 -> check bool "ids advance past recovered" true (id2 > id)
       | Error r -> fail (Admission.reject_message r))
 
+(* regression: the spool covers a request until its result is durable —
+   a live (non-recovered) outcome's report is persisted before its spool
+   entry is removed, so a daemon killed between execution and the reply
+   reaching the client cannot lose an accepted request's result *)
+let test_spool_report_persisted_for_live_outcomes () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let p = placement () in
+      let input = "abbbc evilsig xyzzzw" in
+      let adm = Admission.create (config ~state_dir:dir ()) rap ~params p in
+      let id =
+        match Admission.submit adm ~name:"live" ~class_:Wire.Bulk ~input with
+        | Ok id -> id
+        | Error r -> fail (Admission.reject_message r)
+      in
+      (match Admission.run_pending adm with
+      | [ o ] -> check bool "a live outcome, not a recovered one" false o.Admission.o_recovered
+      | outcomes -> fail (Printf.sprintf "expected 1 outcome, got %d" (List.length outcomes)));
+      let report_file = Checkpoint.Spool.report_path ~dir ~id in
+      check bool "report persisted before spool removal" true (Sys.file_exists report_file);
+      let text = In_channel.with_open_bin report_file In_channel.input_all in
+      check string "persisted report is the canonical rendering"
+        (Runner.render_report (solo p input))
+        text;
+      let entries, _ = Checkpoint.Spool.list ~dir in
+      check int "spool entry consumed" 0 (List.length entries))
+
 (* ------------------------------------------------------------------ *)
 (* Latency histogram *)
 
@@ -515,6 +544,8 @@ let suite =
     test_case "spool: round-trip and listing" `Quick test_spool_roundtrip;
     test_case "spool: corruption rejected" `Quick test_spool_corrupt_rejected;
     test_case "recovery: spool replays bit-identical" `Quick test_recover_replays_spool;
+    test_case "spool: live outcome report persisted" `Quick
+      test_spool_report_persisted_for_live_outcomes;
     test_case "latency: quantiles" `Quick test_latency_quantiles;
     test_case "latency: merge" `Quick test_latency_merge;
     QCheck_alcotest.to_alcotest prop_latency_quantile_bounds;
