@@ -146,22 +146,54 @@ let kernel_bench env ~name =
         acc + !hits)
       0 automata
   in
+  (* Steady-state allocation probe: with states pre-built and warmed,
+     step [n] symbols and read the minor-words counter around the pass;
+     the 0-symbol baseline subtracts the probe's own fixed overhead
+     (closures, the counter's float box), so an allocation-free kernel
+     reports exactly 0.  The arena kernel must: its whole working set is
+     pre-allocated arena slices. *)
+  let minor_words_per_sym step =
+    let states = List.map (fun t -> (t, Nbva.start t)) automata in
+    let pass n =
+      List.iter
+        (fun (t, st) ->
+          for i = 0 to n - 1 do
+            ignore (step t st (String.unsafe_get input i))
+          done)
+        states
+    in
+    pass (String.length input) (* reach steady state *);
+    let measure n =
+      let w0 = Gc.minor_words () in
+      pass n;
+      Gc.minor_words () -. w0
+    in
+    let d0 = measure 0 in
+    let d1 = measure (String.length input) in
+    let syms = float_of_int (String.length input * List.length automata) in
+    if syms > 0. then (d1 -. d0) /. syms else 0.
+  in
   ignore (run Nbva.step ()) (* warm-up *);
   let hits_ref, ref_s = time (run Nbva.step_reference) in
   let hits_bp, bp_s = time (run Nbva.step) in
+  let mw_ref = minor_words_per_sym Nbva.step_reference in
+  let mw_bp = minor_words_per_sym Nbva.step in
   let syms = float_of_int (String.length input * List.length automata) in
   let sps wall = if wall > 0. then syms /. wall else 0. in
   let speedup = if bp_s > 0. then ref_s /. bp_s else 0. in
   Printf.printf
-    "%-14s kernel (%d automata): reference %.3fs (%.3e sym/s), bit-parallel %.3fs (%.3e sym/s), speedup %.2fx, identical=%b\n%!"
-    name (List.length automata) ref_s (sps ref_s) bp_s (sps bp_s) speedup (hits_ref = hits_bp);
+    "%-14s kernel (%d automata): record-scalar %.3fs (%.3e sym/s), arena %.3fs (%.3e sym/s), speedup %.2fx, identical=%b, minor words/sym %.6f vs %.6f\n%!"
+    name (List.length automata) ref_s (sps ref_s) bp_s (sps bp_s) speedup (hits_ref = hits_bp)
+    mw_ref mw_bp;
   Printf.sprintf
-    {|    {"workload": %S, "chars": %d, "automata": %d,
+    {|    {"workload": %S, "kernel": "arena-flat vs record-scalar",
+     "chars": %d, "automata": %d,
      "reference_wall_s": %.6f, "bitparallel_wall_s": %.6f,
      "reference_syms_per_s": %.1f, "bitparallel_syms_per_s": %.1f,
+     "reference_minor_words_per_sym": %.6f, "arena_minor_words_per_sym": %.6f,
      "speedup": %.4f, "identical": %b}|}
-    name (String.length input) (List.length automata) ref_s bp_s (sps ref_s) (sps bp_s) speedup
-    (hits_ref = hits_bp)
+    name (String.length input) (List.length automata) ref_s bp_s (sps ref_s) (sps bp_s) mw_ref
+    mw_bp speedup (hits_ref = hits_bp)
 
 (* Batched serving: B streams of the Snort workload (each rotated so the
    streams are distinct) against one shared placement, wall-clock plus

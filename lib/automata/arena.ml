@@ -1,0 +1,35 @@
+(* See arena.mli. *)
+
+type t = { words : int array; mutable used : int }
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Arena.create: negative capacity";
+  { words = Array.make (max 1 capacity) 0; used = 0 }
+
+let capacity t = Array.length t.words
+let used t = t.used
+let words t = t.words
+
+let alloc t n =
+  if n < 0 then invalid_arg "Arena.alloc: negative size";
+  let off = t.used in
+  if off + n > Array.length t.words then
+    invalid_arg
+      (Printf.sprintf "Arena.alloc: %d words requested, %d of %d free" n
+         (Array.length t.words - off) (Array.length t.words));
+  t.used <- off + n;
+  off
+
+let clear t = Array.fill t.words 0 t.used 0
+
+let snapshot t = Array.sub t.words 0 t.used
+
+let restore t snap =
+  if Array.length snap <> t.used then
+    invalid_arg "Arena.restore: snapshot does not match this arena";
+  Array.blit snap 0 t.words 0 t.used
+
+let copy_from ~src ~dst =
+  if src.used <> dst.used || Array.length src.words <> Array.length dst.words then
+    invalid_arg "Arena.copy_from: arenas have different layouts";
+  Array.blit src.words 0 dst.words 0 src.used

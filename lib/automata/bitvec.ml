@@ -1,19 +1,41 @@
-(* Backed by an int array (62 usable tagged-int bits per cell keeps all
-   operations allocation-free on 64-bit OCaml). *)
+(* Backed by a window of an int array (62 usable tagged-int bits per cell
+   keeps all operations allocation-free on 64-bit OCaml).  A vector is a
+   slice [words.(off .. off + words_for width - 1)]: self-backed vectors
+   from [create] own a private array at offset 0, arena slices from
+   [of_arena] view a shared {!Arena} pool — same operations either way,
+   and every loop is bounded by the width, never by the backing array's
+   length. *)
 
 let bits_per_word = 62
 let mask_all = (1 lsl bits_per_word) - 1
 
-type t = { width : int; words : int array }
+type t = { width : int; off : int; words : int array }
 
 let nwords width = (width + bits_per_word - 1) / bits_per_word
 
+(* Even a width-0 vector owns one word so ops never special-case. *)
+let words_for width = max 1 (nwords width)
+
 let create width =
   if width < 0 then invalid_arg "Bitvec.create";
-  { width; words = Array.make (max 1 (nwords width)) 0 }
+  { width; off = 0; words = Array.make (words_for width) 0 }
 
 let width t = t.width
-let copy t = { width = t.width; words = Array.copy t.words }
+
+let of_arena arena ~off ~width =
+  if width < 0 then invalid_arg "Bitvec.of_arena: negative width";
+  if off < 0 || off + words_for width > Arena.used arena then
+    invalid_arg "Bitvec.of_arena: slice outside the arena's allocated words";
+  { width; off; words = Arena.words arena }
+
+let alloc_in arena width =
+  if width < 0 then invalid_arg "Bitvec.alloc_in: negative width";
+  let off = Arena.alloc arena (words_for width) in
+  { width; off; words = Arena.words arena }
+
+let copy t =
+  let n = words_for t.width in
+  { width = t.width; off = 0; words = Array.sub t.words t.off n }
 
 (* Mask for the partial top word so that dropped bits never reappear. *)
 let top_mask t =
@@ -21,36 +43,53 @@ let top_mask t =
   if rem = 0 then mask_all else (1 lsl rem) - 1
 
 let normalize t =
-  let n = Array.length t.words in
-  if t.width > 0 then t.words.(n - 1) <- t.words.(n - 1) land top_mask t
-  else t.words.(0) <- 0
+  if t.width > 0 then begin
+    let last = t.off + nwords t.width - 1 in
+    t.words.(last) <- t.words.(last) land top_mask t
+  end
+  else t.words.(t.off) <- 0
 
 let check_index t i = if i < 0 || i >= t.width then invalid_arg "Bitvec: index out of bounds"
 
 let get t i =
   check_index t i;
-  (t.words.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+  (t.words.(t.off + (i / bits_per_word)) lsr (i mod bits_per_word)) land 1 = 1
 
 let set t i =
   check_index t i;
-  let w = i / bits_per_word in
+  let w = t.off + (i / bits_per_word) in
   t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
 
 let reset t i =
   check_index t i;
-  let w = i / bits_per_word in
+  let w = t.off + (i / bits_per_word) in
   t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
 
-let clear t = Array.fill t.words 0 (Array.length t.words) 0
+let clear t = Array.fill t.words t.off (words_for t.width) 0
 
 let fill_ones t =
-  Array.fill t.words 0 (Array.length t.words) mask_all;
+  Array.fill t.words t.off (words_for t.width) mask_all;
   normalize t
 
-let is_zero t = Array.for_all (fun w -> w = 0) t.words
+(* The scan loops below accumulate with a ref instead of a local [rec]
+   helper: ocamlopt unboxes non-escaping refs but allocates a closure for
+   every capturing local function, and [is_zero] sits on the kernels'
+   per-symbol path, which must not allocate. *)
+let is_zero t =
+  let acc = ref 0 in
+  for i = t.off to t.off + words_for t.width - 1 do
+    acc := !acc lor t.words.(i)
+  done;
+  !acc = 0
 
 let equal a b =
-  a.width = b.width && Array.for_all2 (fun x y -> x = y) a.words b.words
+  a.width = b.width
+  &&
+  let acc = ref 0 in
+  for i = 0 to words_for a.width - 1 do
+    acc := !acc lor (a.words.(a.off + i) lxor b.words.(b.off + i))
+  done;
+  !acc = 0
 
 (* SWAR popcount over one 62-bit word.  The usual 64-bit masks are
    truncated to 62 bits (0x55... does not fit in a tagged int); the byte
@@ -64,7 +103,7 @@ let popcount_word w =
 
 let popcount t =
   let acc = ref 0 in
-  for i = 0 to Array.length t.words - 1 do
+  for i = t.off to t.off + words_for t.width - 1 do
     acc := !acc + popcount_word t.words.(i)
   done;
   !acc
@@ -74,43 +113,47 @@ let check_same a b = if a.width <> b.width then invalid_arg "Bitvec: width misma
 let popcount_and a b =
   check_same a b;
   let acc = ref 0 in
-  for i = 0 to Array.length a.words - 1 do
-    acc := !acc + popcount_word (a.words.(i) land b.words.(i))
+  for i = 0 to words_for a.width - 1 do
+    acc := !acc + popcount_word (a.words.(a.off + i) land b.words.(b.off + i))
   done;
   !acc
 
 let or_in dst src =
   check_same dst src;
-  for i = 0 to Array.length dst.words - 1 do
-    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  for i = 0 to words_for dst.width - 1 do
+    dst.words.(dst.off + i) <- dst.words.(dst.off + i) lor src.words.(src.off + i)
   done
 
 let and_in dst src =
   check_same dst src;
-  for i = 0 to Array.length dst.words - 1 do
-    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  for i = 0 to words_for dst.width - 1 do
+    dst.words.(dst.off + i) <- dst.words.(dst.off + i) land src.words.(src.off + i)
   done
 
 let andnot_in dst src =
   check_same dst src;
-  for i = 0 to Array.length dst.words - 1 do
-    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  for i = 0 to words_for dst.width - 1 do
+    dst.words.(dst.off + i) <- dst.words.(dst.off + i) land lnot src.words.(src.off + i)
   done
 
 let blit ~src ~dst =
   check_same src dst;
-  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+  Array.blit src.words src.off dst.words dst.off (words_for src.width)
+
+let blit_words t dst off = Array.blit t.words t.off dst off (words_for t.width)
 
 let intersects a b =
   check_same a b;
-  let n = Array.length a.words in
-  let rec loop i = i < n && (a.words.(i) land b.words.(i) <> 0 || loop (i + 1)) in
-  loop 0
+  let acc = ref 0 in
+  for i = 0 to words_for a.width - 1 do
+    acc := !acc lor (a.words.(a.off + i) land b.words.(b.off + i))
+  done;
+  !acc <> 0
 
 let shift_left1 t ~carry_in =
-  let n = Array.length t.words in
+  let n = words_for t.width in
   let carry = ref (if carry_in then 1 else 0) in
-  for i = 0 to n - 1 do
+  for i = t.off to t.off + n - 1 do
     let w = t.words.(i) in
     t.words.(i) <- ((w lsl 1) lor !carry) land mask_all;
     carry := (w lsr (bits_per_word - 1)) land 1
@@ -118,9 +161,9 @@ let shift_left1 t ~carry_in =
   normalize t
 
 let shift_right1 t ~carry_in =
-  let n = Array.length t.words in
+  let n = words_for t.width in
   let carry = ref (if carry_in then 1 else 0) in
-  for i = n - 1 downto 0 do
+  for i = t.off + n - 1 downto t.off do
     let w = t.words.(i) in
     t.words.(i) <- (w lsr 1) lor (!carry lsl (bits_per_word - 1));
     carry := w land 1
@@ -129,7 +172,8 @@ let shift_right1 t ~carry_in =
   if carry_in && t.width > 0 then begin
     normalize t;
     let i = t.width - 1 in
-    t.words.(i / bits_per_word) <- t.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+    let w = t.off + (i / bits_per_word) in
+    t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
   end
   else normalize t
 
@@ -159,12 +203,14 @@ let ntz_one b =
   if !b land 0x1 = 0 then incr n;
   !n
 
+let lsb_index w = ntz_one (w land -w)
+
 (* ctz-style scan: zero words are skipped whole, and within a word each
    iteration jumps straight to the lowest set bit ([w land -w]) instead of
    probing all 62 positions. *)
 let iter_set f t =
-  for i = 0 to Array.length t.words - 1 do
-    let w = ref t.words.(i) in
+  for i = 0 to words_for t.width - 1 do
+    let w = ref t.words.(t.off + i) in
     if !w <> 0 then begin
       let base = i * bits_per_word in
       while !w <> 0 do

@@ -5,15 +5,23 @@ type ste =
   | Bv of { cc : Charclass.t; size : int; read : read_action }
 
 (* Bit-parallel execution plan, built once per automaton: one bit per STE,
-   in state order.  [labels_mask] has bits only at Plain positions — the
-   per-symbol AND therefore leaves every BV position clear, and the scalar
-   BV pass sets exactly the BV bits that fire. *)
+   in state order.  All mask vectors live in one flat [masks] table of
+   hash-consed [nwords]-word rows — the per-byte label rows have bits only
+   at Plain positions (the per-symbol AND therefore leaves every BV
+   position clear, and the scalar BV pass sets exactly the BV bits that
+   fire), and [labels_row]/[succ_row] map a byte or state to its row's
+   word offset.  The kernels index [masks] directly, so a step touches one
+   contiguous int array instead of chasing per-mask boxes. *)
 type exec_plan = {
-  labels_mask : Bitvec.t array;  (* indexed by byte: Plain STEs whose class matches *)
-  initial_mask : Bitvec.t;
-  final_mask : Bitvec.t;
-  succ_mask : Bitvec.t array;  (* per state: its successors as a mask *)
+  nwords : int;  (* words per mask row: Bitvec.words_for (num states) *)
+  masks : int array;  (* hash-consed rows, each nwords long *)
+  labels_row : int array;  (* indexed by byte: row offset of its Plain-STE mask *)
+  succ_row : int array;  (* per state: row offset of its successor mask *)
+  initial_row : int;
+  final_row : int;
   bv_states : int array;  (* dense indices of BV-STEs, ascending *)
+  bv_match : Bytes.t;  (* 256 bytes per BV-STE: does byte b match its class *)
+  bv_read : int array;  (* per BV-STE: m for Read_exact m, 0 for Read_all *)
 }
 
 type t = {
@@ -124,21 +132,50 @@ let of_ast r =
       if finals.(q) then Bitvec.set final_mask q;
       Array.iter (fun s -> Bitvec.set succ_mask.(q) s) succs.(q))
     stes;
-  (* Hash-cons the mask tables: states sharing a character class produce
-     equal per-byte masks (most of the 256 entries collapse to a handful),
-     and unfolded chains produce many equal successor masks.  Sharing them
-     cuts compiled-program memory, and — because [Marshal] preserves
-     sharing — shrinks the cached placement artifact.  Safe: the kernels
-     only ever read these vectors (blit/AND/OR sources). *)
+  (* Hash-cons the mask tables while packing them into one flat word
+     table: states sharing a character class produce equal per-byte masks
+     (most of the 256 entries collapse to a handful), and unfolded chains
+     produce many equal successor masks.  Each distinct mask becomes one
+     [nwords]-long row of [masks]; equal masks share a row offset.
+     Sharing cuts compiled-program memory, and — because [Marshal]
+     preserves the flat table as one block — keeps the cached placement
+     artifact compact.  Safe: the kernels only ever read these rows
+     (blit/AND/OR sources). *)
+  let nwords = Bitvec.words_for n in
   let cons_tbl = Hashtbl.create 64 in
-  let canon v =
+  let unique_rows = ref [] in
+  let nrows = ref 0 in
+  let row_of v =
     let key = Bytes.to_string (Bitvec.to_bytes v) in
     match Hashtbl.find_opt cons_tbl key with
-    | Some c -> c
+    | Some r -> r
     | None ->
-        Hashtbl.add cons_tbl key v;
-        v
+        let r = !nrows * nwords in
+        incr nrows;
+        unique_rows := v :: !unique_rows;
+        Hashtbl.add cons_tbl key r;
+        r
   in
+  let labels_row = Array.map row_of labels_mask in
+  let succ_row = Array.map row_of succ_mask in
+  let initial_row = row_of initial_mask in
+  let final_row = row_of final_mask in
+  let masks = Array.make (!nrows * nwords) 0 in
+  List.iteri
+    (fun i v -> Bitvec.blit_words v masks ((!nrows - 1 - i) * nwords))
+    !unique_rows;
+  let bv_states = Array.of_list (List.rev !bv_states) in
+  let nbv = Array.length bv_states in
+  let bv_match = Bytes.make (nbv * 256) '\000' in
+  let bv_read = Array.make nbv 0 in
+  Array.iteri
+    (fun i q ->
+      match stes.(q) with
+      | Bv { cc; read; size = _ } ->
+          Charclass.iter (fun b -> Bytes.set bv_match ((i * 256) + b) '\001') cc;
+          bv_read.(i) <- (match read with Read_exact m -> m | Read_all -> 0)
+      | Plain _ -> assert false)
+    bv_states;
   {
     stes;
     succs;
@@ -148,76 +185,142 @@ let of_ast r =
     accepts_empty = info.nullable;
     plan =
       {
-        labels_mask = Array.map canon labels_mask;
-        initial_mask = canon initial_mask;
-        final_mask = canon final_mask;
-        succ_mask = Array.map canon succ_mask;
-        bv_states = Array.of_list (List.rev !bv_states);
+        nwords;
+        masks;
+        labels_row;
+        succ_row;
+        initial_row;
+        final_row;
+        bv_states;
+        bv_match;
+        bv_read;
       };
   }
 
 let compile ~threshold r =
   of_ast (Rewrite.split_bounded (Rewrite.unfold_for_nbva ~threshold r))
 
-(* Execution. *)
+(* Execution.
+
+   All mutable state packs into one {!Arena}: the active/next/avail masks
+   first, then every BV vector in state order.  The flat layout makes
+   snapshot/clone a single word blit (the engine layer leans on this for
+   rollbacks and service sessions) and lets the kernel below run over raw
+   int arrays with zero steady-state allocation.  There is no
+   active/next pointer swap: [step] copies next back into active, so
+   [outputs] is a stable arena view and a raw word snapshot needs no swap
+   parity on the side. *)
 
 type run_state = {
-  mutable active : Bitvec.t;  (* output activation after the last symbol, one bit per STE *)
-  mutable next : Bitvec.t;  (* scratch double buffer, swapped with [active] *)
-  avail : Bitvec.t;  (* scratch: availability of each STE this symbol *)
-  vectors : Bitvec.t option array;  (* per-STE bit vector, None for Plain *)
-  or_succ : int -> unit;  (* preallocated [avail |= succ_mask.(q)], for iter_set *)
+  st_arena : Arena.t;
+  act_off : int;  (* nwords: output activation after the last symbol *)
+  nxt_off : int;  (* nwords: scratch successor activation *)
+  av_off : int;  (* nwords: scratch availability this symbol *)
+  active_v : Bitvec.t;  (* arena views of the three masks above *)
+  next_v : Bitvec.t;
+  avail_v : Bitvec.t;
+  vectors : Bitvec.t option array;  (* per-STE arena slice, None for Plain *)
 }
 
-let start t =
+let state_words t =
   let n = num_states t in
-  let avail = Bitvec.create n in
-  let succ_mask = t.plan.succ_mask in
+  Array.fold_left
+    (fun acc s ->
+      match s with Bv { size; _ } -> acc + Bitvec.words_for size | Plain _ -> acc)
+    (3 * Bitvec.words_for n) t.stes
+
+let start ?arena t =
+  let n = num_states t in
+  let arena =
+    match arena with Some a -> a | None -> Arena.create ~capacity:(state_words t)
+  in
+  let nw = Bitvec.words_for n in
+  let act_off = Arena.alloc arena nw in
+  let nxt_off = Arena.alloc arena nw in
+  let av_off = Arena.alloc arena nw in
+  let vectors =
+    Array.map
+      (function Bv { size; _ } -> Some (Bitvec.alloc_in arena size) | Plain _ -> None)
+      t.stes
+  in
   {
-    active = Bitvec.create n;
-    next = Bitvec.create n;
-    avail;
-    vectors =
-      Array.map (function Bv { size; _ } -> Some (Bitvec.create size) | Plain _ -> None) t.stes;
-    or_succ = (fun q -> Bitvec.or_in avail succ_mask.(q));
+    st_arena = arena;
+    act_off;
+    nxt_off;
+    av_off;
+    active_v = Bitvec.of_arena arena ~off:act_off ~width:n;
+    next_v = Bitvec.of_arena arena ~off:nxt_off ~width:n;
+    avail_v = Bitvec.of_arena arena ~off:av_off ~width:n;
+    vectors;
   }
 
+let run_arena st = st.st_arena
+
+let bpw = Bitvec.bits_per_word
+
 (* Bit-parallel kernel: availability and Plain-STE activation are computed
-   word-parallel over the packed active vector; only BV-STEs (a short dense
-   list) get a scalar vector update.  Every buffer lives in [run_state], so
-   the steady-state loop allocates nothing. *)
+   word-parallel straight over the arena's int array and the plan's flat
+   mask table; only BV-STEs (a short dense list) get a scalar vector
+   update, with the class-membership test folded into the precomputed
+   [bv_match] byte table.  Every buffer lives in the arena, so the
+   steady-state loop allocates nothing — not even closures or boxed
+   intermediates. *)
 let step t st c =
   let p = t.plan in
+  let nw = p.nwords in
+  let w = Arena.words st.st_arena in
+  let masks = p.masks in
+  let act = st.act_off and nxt = st.nxt_off and av = st.av_off in
   (* avail = initial OR (union of successor masks of active states) *)
-  Bitvec.blit ~src:p.initial_mask ~dst:st.avail;
-  Bitvec.iter_set st.or_succ st.active;
+  Array.blit masks p.initial_row w av nw;
+  let succ_row = p.succ_row in
+  for j = 0 to nw - 1 do
+    let aw = ref (Array.unsafe_get w (act + j)) in
+    if !aw <> 0 then begin
+      let base = j * bpw in
+      while !aw <> 0 do
+        let row = Array.unsafe_get succ_row (base + Bitvec.lsb_index !aw) in
+        for i = 0 to nw - 1 do
+          Array.unsafe_set w (av + i)
+            (Array.unsafe_get w (av + i) lor Array.unsafe_get masks (row + i))
+        done;
+        aw := !aw land (!aw - 1)
+      done
+    end
+  done;
   (* Plain STEs, all at once: next = avail AND labels[c] *)
-  Bitvec.blit ~src:st.avail ~dst:st.next;
-  Bitvec.and_in st.next p.labels_mask.(Char.code c);
+  let lrow = Array.unsafe_get p.labels_row (Char.code c) in
+  for i = 0 to nw - 1 do
+    Array.unsafe_set w (nxt + i)
+      (Array.unsafe_get w (av + i) land Array.unsafe_get masks (lrow + i))
+  done;
   (* BV-STEs keep their scalar vector updates, driven from the dense list *)
   let bvs = p.bv_states in
   for i = 0 to Array.length bvs - 1 do
-    let q = bvs.(i) in
-    match t.stes.(q) with
-    | Plain _ -> assert false
-    | Bv { cc; read; size = _ } ->
-        let v = match st.vectors.(q) with Some v -> v | None -> assert false in
-        if Charclass.mem cc c then begin
-          Bitvec.shift_left1 v ~carry_in:false;
-          if Bitvec.get st.avail q then Bitvec.set v 0
-        end
-        else Bitvec.clear v;
-        let fires =
-          match read with
-          | Read_exact m -> Bitvec.get v (m - 1)
-          | Read_all -> not (Bitvec.is_zero v)
-        in
-        if fires then Bitvec.set st.next q
+    let q = Array.unsafe_get bvs i in
+    let v = match Array.unsafe_get st.vectors q with Some v -> v | None -> assert false in
+    if Bytes.unsafe_get p.bv_match ((i * 256) + Char.code c) <> '\000' then begin
+      Bitvec.shift_left1 v ~carry_in:false;
+      if (Array.unsafe_get w (av + (q / bpw)) lsr (q mod bpw)) land 1 = 1 then
+        Bitvec.set v 0
+    end
+    else Bitvec.clear v;
+    let m = Array.unsafe_get p.bv_read i in
+    let fires = if m > 0 then Bitvec.get v (m - 1) else not (Bitvec.is_zero v) in
+    if fires then begin
+      let wq = nxt + (q / bpw) in
+      Array.unsafe_set w wq (Array.unsafe_get w wq lor (1 lsl (q mod bpw)))
+    end
   done;
-  let cur = st.active in
-  st.active <- st.next;
-  st.next <- cur;
-  Bitvec.intersects st.active p.final_mask
+  (* copy next back into active and test finals on the way *)
+  let frow = p.final_row in
+  let hit = ref false in
+  for i = 0 to nw - 1 do
+    let x = Array.unsafe_get w (nxt + i) in
+    Array.unsafe_set w (act + i) x;
+    if x land Array.unsafe_get masks (frow + i) <> 0 then hit := true
+  done;
+  !hit
 
 (* The pre-bit-parallel scalar kernel, kept as the differential-testing
    reference: one pass over all states probing predecessor lists.  Must
@@ -226,7 +329,7 @@ let step_reference t st c =
   let n = num_states t in
   let hit = ref false in
   for q = 0 to n - 1 do
-    let avail = t.initial.(q) || Array.exists (fun j -> Bitvec.get st.active j) t.preds.(q) in
+    let avail = t.initial.(q) || Array.exists (fun j -> Bitvec.get st.active_v j) t.preds.(q) in
     let active =
       match t.stes.(q) with
       | Plain cc -> avail && Charclass.mem cc c
@@ -242,14 +345,12 @@ let step_reference t st c =
           | Read_all -> not (Bitvec.is_zero v))
     in
     if active then begin
-      Bitvec.set st.next q;
+      Bitvec.set st.next_v q;
       if t.finals.(q) then hit := true
     end
-    else Bitvec.reset st.next q
+    else Bitvec.reset st.next_v q
   done;
-  let cur = st.active in
-  st.active <- st.next;
-  st.next <- cur;
+  Bitvec.blit ~src:st.next_v ~dst:st.active_v;
   !hit
 
 type kernel = Bit_parallel | Reference
@@ -268,47 +369,73 @@ let step_selected t st c =
    reads and writes only that stream's buffers, in the same order. *)
 let step_multi t sts cs hits =
   let p = t.plan in
+  let nw = p.nwords in
+  let masks = p.masks in
   let k = Array.length sts in
   if Array.length cs < k || Array.length hits < k then
     invalid_arg "Nbva.step_multi: per-stream buffers shorter than the state array";
-  for i = 0 to k - 1 do
-    let st = sts.(i) in
-    Bitvec.blit ~src:p.initial_mask ~dst:st.avail;
-    Bitvec.iter_set st.or_succ st.active
+  for s = 0 to k - 1 do
+    let st = sts.(s) in
+    let w = Arena.words st.st_arena in
+    let act = st.act_off and av = st.av_off in
+    Array.blit masks p.initial_row w av nw;
+    for j = 0 to nw - 1 do
+      let aw = ref (Array.unsafe_get w (act + j)) in
+      if !aw <> 0 then begin
+        let base = j * bpw in
+        while !aw <> 0 do
+          let row = Array.unsafe_get p.succ_row (base + Bitvec.lsb_index !aw) in
+          for i = 0 to nw - 1 do
+            Array.unsafe_set w (av + i)
+              (Array.unsafe_get w (av + i) lor Array.unsafe_get masks (row + i))
+          done;
+          aw := !aw land (!aw - 1)
+        done
+      end
+    done
   done;
-  for i = 0 to k - 1 do
-    let st = sts.(i) in
-    Bitvec.blit ~src:st.avail ~dst:st.next;
-    Bitvec.and_in st.next p.labels_mask.(Char.code cs.(i))
+  for s = 0 to k - 1 do
+    let st = sts.(s) in
+    let w = Arena.words st.st_arena in
+    let lrow = Array.unsafe_get p.labels_row (Char.code cs.(s)) in
+    for i = 0 to nw - 1 do
+      Array.unsafe_set w (st.nxt_off + i)
+        (Array.unsafe_get w (st.av_off + i) land Array.unsafe_get masks (lrow + i))
+    done
   done;
   let bvs = p.bv_states in
   for j = 0 to Array.length bvs - 1 do
-    let q = bvs.(j) in
-    match t.stes.(q) with
-    | Plain _ -> assert false
-    | Bv { cc; read; size = _ } ->
-        for i = 0 to k - 1 do
-          let st = sts.(i) in
-          let v = match st.vectors.(q) with Some v -> v | None -> assert false in
-          if Charclass.mem cc cs.(i) then begin
-            Bitvec.shift_left1 v ~carry_in:false;
-            if Bitvec.get st.avail q then Bitvec.set v 0
-          end
-          else Bitvec.clear v;
-          let fires =
-            match read with
-            | Read_exact m -> Bitvec.get v (m - 1)
-            | Read_all -> not (Bitvec.is_zero v)
-          in
-          if fires then Bitvec.set st.next q
-        done
+    let q = Array.unsafe_get bvs j in
+    let m = Array.unsafe_get p.bv_read j in
+    for s = 0 to k - 1 do
+      let st = sts.(s) in
+      let w = Arena.words st.st_arena in
+      let v = match Array.unsafe_get st.vectors q with Some v -> v | None -> assert false in
+      if Bytes.unsafe_get p.bv_match ((j * 256) + Char.code cs.(s)) <> '\000' then begin
+        Bitvec.shift_left1 v ~carry_in:false;
+        if (Array.unsafe_get w (st.av_off + (q / bpw)) lsr (q mod bpw)) land 1 = 1 then
+          Bitvec.set v 0
+      end
+      else Bitvec.clear v;
+      let fires = if m > 0 then Bitvec.get v (m - 1) else not (Bitvec.is_zero v) in
+      if fires then begin
+        let wq = st.nxt_off + (q / bpw) in
+        Array.unsafe_set w wq (Array.unsafe_get w wq lor (1 lsl (q mod bpw)))
+      end
+    done
   done;
-  for i = 0 to k - 1 do
-    let st = sts.(i) in
-    let cur = st.active in
-    st.active <- st.next;
-    st.next <- cur;
-    hits.(i) <- Bitvec.intersects st.active p.final_mask
+  let frow = p.final_row in
+  for s = 0 to k - 1 do
+    let st = sts.(s) in
+    let w = Arena.words st.st_arena in
+    let act = st.act_off and nxt = st.nxt_off in
+    let hit = ref false in
+    for i = 0 to nw - 1 do
+      let x = Array.unsafe_get w (nxt + i) in
+      Array.unsafe_set w (act + i) x;
+      if x land Array.unsafe_get masks (frow + i) <> 0 then hit := true
+    done;
+    hits.(s) <- !hit
   done
 
 let step_multi_selected t sts cs hits =
@@ -318,13 +445,7 @@ let step_multi_selected t sts cs hits =
 
 let mask_table_stats t =
   let p = t.plan in
-  let seen = ref [] in
-  let add v = if not (List.memq v !seen) then seen := v :: !seen in
-  Array.iter add p.labels_mask;
-  Array.iter add p.succ_mask;
-  add p.initial_mask;
-  add p.final_mask;
-  (List.length !seen, Array.length p.labels_mask + Array.length p.succ_mask + 2)
+  (Array.length p.masks / p.nwords, Array.length p.labels_row + Array.length p.succ_row + 2)
 
 let bv_active_count t st =
   let acc = ref 0 in
@@ -336,11 +457,20 @@ let bv_active_count t st =
     t.stes;
   !acc
 
-let active_count _t st = Bitvec.popcount st.active
+let active_count _t st = Bitvec.popcount st.active_v
 
-let outputs st = st.active
+let outputs st = st.active_v
 let vectors st = st.vectors
-let reports t st = Bitvec.popcount_and st.active t.plan.final_mask
+
+let reports t st =
+  let p = t.plan in
+  let w = Arena.words st.st_arena in
+  let masks = p.masks in
+  let acc = ref 0 in
+  for i = 0 to p.nwords - 1 do
+    acc := !acc + Bitvec.popcount_word (Array.unsafe_get w (st.act_off + i) land Array.unsafe_get masks (p.final_row + i))
+  done;
+  !acc
 
 let match_ends t input =
   let st = start t in

@@ -21,8 +21,10 @@ type ste =
   | Bv of { cc : Charclass.t; size : int; read : read_action }
 
 type exec_plan
-(** Bit-parallel execution tables (per-byte label masks, per-state
-    successor masks, dense BV-STE list), built once by {!of_ast}. *)
+(** Bit-parallel execution tables (hash-consed per-byte label and
+    per-state successor mask rows packed into one flat word table, dense
+    BV-STE list with a precomputed byte-match table), built once by
+    {!of_ast}. *)
 
 type t = {
   stes : ste array;
@@ -55,13 +57,30 @@ val cc_of : ste -> Charclass.t
 
 type run_state
 
-val start : t -> run_state
+val state_words : t -> int
+(** Arena words of one stream's whole mutable state: the active/next/avail
+    masks plus every BV vector.  This is the exact capacity {!start}
+    allocates, so an engine packing several executors into one shared
+    {!Arena} can size it as the sum of their [state_words]. *)
+
+val start : ?arena:Arena.t -> t -> run_state
+(** Fresh (empty-input) run state.  All mutable words are allocated from
+    [arena] when given ([state_words t] words are consumed), else from a
+    private arena of exactly that capacity — either way the state is a
+    contiguous word range, so cloning or checkpointing a stream is one
+    blit of the arena. *)
+
+val run_arena : run_state -> Arena.t
+(** The arena holding this stream's mutable words (for flat snapshot /
+    restore of everything at once). *)
 
 val step : t -> run_state -> char -> bool
 (** [true] when a match ends at this symbol.  This is the bit-parallel
     kernel: Plain-STE availability and activation are computed word-wise
-    over a packed active vector; BV-STEs get scalar vector updates driven
-    from a dense index list.  The steady-state loop allocates nothing. *)
+    over the arena's raw word array against the plan's flat mask table;
+    BV-STEs get scalar vector updates driven from a dense index list with
+    precomputed byte-match bytes.  The steady-state loop allocates
+    nothing. *)
 
 val step_reference : t -> run_state -> char -> bool
 (** The scalar pre-bit-parallel kernel (per-state predecessor probing),

@@ -47,42 +47,55 @@ let line labels =
 
 type run = { match_ends : int list; active_per_step : int array }
 
+(* Active/next state sets live as packed bit vectors in one arena, so the
+   stepper's whole mutable surface is a contiguous word range: a session
+   snapshot is one blit, and a caller can pack many steppers into one
+   shared pool via [?arena]. *)
 type stepper = {
-  st_active : bool array;
-  st_next : bool array;
+  st_arena : Arena.t;
+  st_active : Bitvec.t;
+  st_next : Bitvec.t;
   st_anchored : bool;
   mutable st_pos : int;
   mutable st_count : int;
 }
 
-let stepper ?(anchored_start = false) t =
+let stepper_words t = 2 * Bitvec.words_for (num_states t)
+
+let stepper ?(anchored_start = false) ?arena t =
   let n = num_states t in
+  let arena =
+    match arena with Some a -> a | None -> Arena.create ~capacity:(stepper_words t)
+  in
   {
-    st_active = Array.make n false;
-    st_next = Array.make n false;
+    st_arena = arena;
+    st_active = Bitvec.alloc_in arena n;
+    st_next = Bitvec.alloc_in arena n;
     st_anchored = anchored_start;
     st_pos = 0;
     st_count = 0;
   }
 
+let stepper_arena s = s.st_arena
+
 let stepper_step t s c =
   let n = num_states t in
-  Array.fill s.st_next 0 n false;
+  Bitvec.clear s.st_next;
   let count = ref 0 and hit = ref false in
   for q = 0 to n - 1 do
     if Charclass.mem t.labels.(q) c then begin
       let avail =
         (t.initial.(q) && ((not s.st_anchored) || s.st_pos = 0))
-        || Array.exists (fun j -> s.st_active.(j)) t.preds.(q)
+        || Array.exists (fun j -> Bitvec.get s.st_active j) t.preds.(q)
       in
       if avail then begin
-        s.st_next.(q) <- true;
+        Bitvec.set s.st_next q;
         incr count;
         if t.finals.(q) then hit := true
       end
     end
   done;
-  Array.blit s.st_next 0 s.st_active 0 n;
+  Bitvec.blit ~src:s.st_next ~dst:s.st_active;
   s.st_pos <- s.st_pos + 1;
   s.st_count <- !count;
   !hit

@@ -53,8 +53,17 @@ type stepper
     Lets a caller feed the input symbol by symbol (streaming match
     sessions) with identical results to a whole-string {!run}. *)
 
-val stepper : ?anchored_start:bool -> t -> stepper
-(** Fresh state positioned before the first symbol. *)
+val stepper_words : t -> int
+(** Arena words of one stepper's mutable state (two packed state sets). *)
+
+val stepper : ?anchored_start:bool -> ?arena:Arena.t -> t -> stepper
+(** Fresh state positioned before the first symbol.  The active/next
+    state sets are packed bit vectors allocated from [arena] when given
+    ([stepper_words t] words), else from a private pool — either way a
+    contiguous word range, cloneable with one blit. *)
+
+val stepper_arena : stepper -> Arena.t
+(** The arena holding this stepper's packed state sets. *)
 
 val stepper_step : t -> stepper -> char -> bool
 (** Consume one symbol; [true] when a match ends on it. *)

@@ -56,7 +56,9 @@ let num_patterns t = t.num_patterns
 
 type state = Bitvec.t
 
+let state_words t = Bitvec.words_for t.width
 let start t = Bitvec.create t.width
+let start_in arena t = Bitvec.alloc_in arena t.width
 
 let step t states c =
   (* next = (states << 1) OR maskInitial; states = next AND labels[c] *)

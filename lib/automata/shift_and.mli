@@ -28,7 +28,17 @@ val num_patterns : t -> int
 
 type state
 
+val state_words : t -> int
+(** Arena words one stream's state occupies ({!Bitvec.words_for} of the
+    packed width) — for sizing a shared {!Arena}. *)
+
 val start : t -> state
+(** Empty state in a private backing array. *)
+
+val start_in : Arena.t -> t -> state
+(** Empty state as an arena slice ([state_words t] words), so an engine
+    can snapshot or clone its whole run state as one word blit. *)
+
 val step : t -> state -> char -> bool
 (** Advance by one symbol; [true] when some final state is active, i.e. a
     match ends at this symbol. *)

@@ -4,8 +4,10 @@ let magic = "RAPPROG"
 
 (* Bump whenever any type reachable from [entry] changes layout: the
    version byte in the Artifact envelope is the only thing standing
-   between an old artifact and Marshal reading it as garbage. *)
-let version = 1
+   between an old artifact and Marshal reading it as garbage.
+   v2: Nbva exec plans became flat packed mask tables, Bitvec grew a
+   slice representation. *)
+let version = 2
 
 type entry = {
   e_key : string;

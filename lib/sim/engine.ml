@@ -239,6 +239,7 @@ let nbva_step (e : nbva_engine) c =
 type bin_engine = {
   bin : Binning.bin;
   sa : Shift_and.t;
+  b_arena : Arena.t;  (* holds the packed state vector; flat-snapshot surface *)
   sa_st : Shift_and.state;
   bit_tile : int array;  (* packed bit -> bin tile *)
   b_tile_masks : Bitvec.t array;  (* per tile: its packed bits *)
@@ -280,10 +281,12 @@ let make_bin_engine (bin : Binning.bin) =
     if bit_tile.(bit + 1) = bit_tile.(bit) + 1 && not pattern_last.(bit) then
       Bitvec.set ring_mask bit
   done;
+  let b_arena = Arena.create ~capacity:(Shift_and.state_words sa) in
   {
     bin;
     sa;
-    sa_st = Shift_and.start sa;
+    b_arena;
+    sa_st = Shift_and.start_in b_arena sa;
     bit_tile;
     b_tile_masks = tile_masks;
     ring_mask;
@@ -361,7 +364,14 @@ let clone_fresh = function
           nb_stats = stats_create (Array.length e.nb_stats.active);
         }
   | E_bin e ->
-      E_bin { e with sa_st = Shift_and.start e.sa; b_stats = stats_create e.bin.Binning.tiles }
+      let b_arena = Arena.create ~capacity:(Shift_and.state_words e.sa) in
+      E_bin
+        {
+          e with
+          b_arena;
+          sa_st = Shift_and.start_in b_arena e.sa;
+          b_stats = stats_create e.bin.Binning.tiles;
+        }
 
 type multi =
   | Mu_nfa of { m_exec : Nbva.t; m_engs : nfa_engine array; m_sts : Nbva.run_state array; m_hits : bool array }
@@ -527,6 +537,26 @@ let snapshot = function
   | E_nfa e -> nbva_snapshot e.exec_st
   | E_nbva e -> nbva_snapshot e.nb_st
   | E_bin e -> [| Bitvec.copy (Shift_and.state_vector e.sa_st) |]
+
+(* Flat snapshots: each engine's run state lives in one arena (NBVA
+   executors allocate theirs in [Nbva.start], bins in [make_bin_engine]),
+   so the whole inter-symbol surface — including scratch, which the next
+   step overwrites anyway — captures and restores as a single word blit.
+   This is the cheap in-memory form for per-chunk rollbacks and session
+   cloning; checkpoints keep the representation-independent {!snapshot}
+   (width-prefixed vector bytes) for their on-disk format. *)
+
+let run_arena = function
+  | E_nfa e -> Nbva.run_arena e.exec_st
+  | E_nbva e -> Nbva.run_arena e.nb_st
+  | E_bin e -> e.b_arena
+
+let state_words t = Arena.used (run_arena t)
+let snapshot_flat t = Arena.snapshot (run_arena t)
+
+let restore_flat t snap =
+  try Arena.restore (run_arena t) snap
+  with Invalid_argument _ -> restore_mismatch ()
 
 let restore t snap =
   match t with

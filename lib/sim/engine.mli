@@ -139,3 +139,16 @@ val restore : t -> snapshot -> unit
 (** Raises [Invalid_argument] when the snapshot's shape (vector count or
     any width) does not match the engine — the caller is trying to
     restore into a different placement. *)
+
+val state_words : t -> int
+(** Words of the engine's run-state arena (the flat-snapshot length). *)
+
+val snapshot_flat : t -> int array
+(** The engine's whole run-state arena as one raw word copy — O(memcpy),
+    no per-vector boxing.  Equivalent in restorable content to
+    {!snapshot} but representation-bound: use it for in-memory rollbacks
+    and session capture, never for on-disk formats. *)
+
+val restore_flat : t -> int array -> unit
+(** Inverse of {!snapshot_flat}.  Raises [Invalid_argument] on a length
+    mismatch (snapshot from a different placement). *)

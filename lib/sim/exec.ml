@@ -68,6 +68,13 @@ let restore t snaps =
     invalid_arg "Exec.restore: snapshot does not match this array";
   Array.iteri (fun i s -> Engine.restore t.engines.(i) s) snaps
 
+let snapshot_flat t = Array.map Engine.snapshot_flat t.engines
+
+let restore_flat t snaps =
+  if Array.length snaps <> Array.length t.engines then
+    invalid_arg "Exec.restore_flat: snapshot does not match this array";
+  Array.iteri (fun i s -> Engine.restore_flat t.engines.(i) s) snaps
+
 type tile_events = {
   t_mode : Engine.mode;
   t_powered : bool;

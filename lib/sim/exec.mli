@@ -28,6 +28,15 @@ val restore : t -> Engine.snapshot array -> unit
 (** Restore into an exec context built from the same placement and tile
     set; raises [Invalid_argument] on any shape mismatch. *)
 
+val snapshot_flat : t -> int array array
+(** Per-engine raw arena copies — one blit per engine, the cheap
+    in-memory form for per-chunk rollbacks (see {!Engine.snapshot_flat};
+    not an on-disk format). *)
+
+val restore_flat : t -> int array array -> unit
+(** Inverse of {!snapshot_flat}; raises [Invalid_argument] on any shape
+    mismatch. *)
+
 (** {1 Per-symbol events} *)
 
 type tile_events = {

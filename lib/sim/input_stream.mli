@@ -17,9 +17,18 @@ val of_string : ?chunk:int -> string -> t
 (** In-memory stream (chunks are substrings; a single-chunk stream hands
     out the original string without copying). *)
 
-val of_file : ?chunk:int -> string -> t
+val of_file : ?chunk:int -> ?mmap:bool -> string -> t
 (** Opens the file now; raises [Sim_error.Error (Stream_failed _)] when
-    it cannot be opened.  Length is known up front. *)
+    it cannot be opened.  Length is known up front.
+
+    With [mmap] (default [true]) a non-empty regular file is mapped
+    read-only ([Unix.map_file]): chunks come straight from the mapping
+    with no [read] syscalls or kernel-buffer copies, and {!seek} is a
+    cursor assignment — multi-GB traces stream in O(chunk) memory.
+    Anything unmappable (empty file, fifo, device, or any mapping error)
+    silently falls back to the channel reader, whose delivered chunks
+    are byte-identical.  Delivered chunks are always copies, so they
+    stay valid after {!close} unmaps. *)
 
 val of_stdin : ?chunk:int -> unit -> t
 (** Unseekable, unknown length. *)
@@ -32,6 +41,10 @@ val pos : t -> int
 
 val chunk_size : t -> int
 
+val is_mmap : t -> bool
+(** [true] when the stream reads from a memory mapping (the {!of_file}
+    fast path was taken). *)
+
 val next : t -> string option
 (** The next chunk (1 to [chunk] bytes), or [None] at end of input.
     Raises [Sim_error.Error (Stream_failed _)] on a read error. *)
@@ -41,10 +54,14 @@ val seek : t -> int -> unit
     [Sim_error.Error (Stream_failed _)] when the source is not seekable
     (stdin) or the offset is out of range. *)
 
-val read_all : t -> string
+val read_all : ?max_bytes:int -> t -> string
 (** Drain the remaining stream into one string — only for consumers
     whose semantics genuinely need the whole input (e.g. the fault
-    campaign's software cross-check). *)
+    campaign's software cross-check).  Refuses to materialize more than
+    [max_bytes] (default 1 GiB), raising
+    [Sim_error.Error (Input_too_large _)] — before buffering anything
+    when the remaining length is known, else as soon as the cap is
+    crossed while draining bounded chunks. *)
 
 val close : t -> unit
 (** Release the underlying channel; harmless on string streams and after

@@ -294,8 +294,11 @@ let assemble_report (arch : Arch.t) (p : Mapper.placement) ~chars ~cycles_slots 
     degraded;
   }
 
+(* Per-chunk rollbacks are in-memory only, so they use the flat arena
+   form: one raw word blit per engine instead of boxed per-vector copies.
+   Checkpoints keep the representation-independent [Exec.snapshot]. *)
 type rollback = {
-  rb_engines : Engine.snapshot array;
+  rb_engines : int array array;
   rb_energy : float array;
   rb_mode : float array;
 }
@@ -399,7 +402,7 @@ let run_stream ?(jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false) (
               else
                 Some
                   {
-                    rb_engines = Exec.snapshot execs.(i);
+                    rb_engines = Exec.snapshot_flat execs.(i);
                     rb_energy = ledger_values ledgers.(i);
                     rb_mode = Array.copy mode_slots.(i);
                   })
@@ -408,7 +411,7 @@ let run_stream ?(jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false) (
           match rollbacks.(i) with
           | None -> ()
           | Some rb ->
-              Exec.restore execs.(i) rb.rb_engines;
+              Exec.restore_flat execs.(i) rb.rb_engines;
               ledger_restore ledgers.(i) rb.rb_energy;
               Array.blit rb.rb_mode 0 mode_slots.(i) 0 (Array.length rb.rb_mode)
         in

@@ -7,6 +7,7 @@ type t =
   | Checkpoint_mismatch of { detail : string }
   | Stream_failed of { detail : string }
   | Deadline_expired of { waited_s : float; deadline_s : float }
+  | Input_too_large of { bytes : int; limit : int }
 
 exception Error of t
 
@@ -17,10 +18,13 @@ let label = function
   | Checkpoint_mismatch _ -> "checkpoint-mismatch"
   | Stream_failed _ -> "stream-failed"
   | Deadline_expired _ -> "deadline-expired"
+  | Input_too_large _ -> "input-too-large"
 
 let array_id = function
   | Array_crashed { array_id; _ } | Array_timeout { array_id; _ } -> Some array_id
-  | Checkpoint_corrupt _ | Checkpoint_mismatch _ | Stream_failed _ | Deadline_expired _ -> None
+  | Checkpoint_corrupt _ | Checkpoint_mismatch _ | Stream_failed _ | Deadline_expired _
+  | Input_too_large _ ->
+      None
 
 let message = function
   | Array_crashed { array_id; attempts; detail } ->
@@ -36,6 +40,10 @@ let message = function
   | Deadline_expired { waited_s; deadline_s } ->
       Printf.sprintf "request expired after %.3fs in queue (deadline %.3fs)" waited_s
         deadline_s
+  | Input_too_large { bytes; limit } ->
+      Printf.sprintf
+        "input of %d bytes exceeds the %d-byte whole-input limit; use the streaming path"
+        bytes limit
 
 let pp fmt e = Format.fprintf fmt "[%s] %s" (label e) (message e)
 
@@ -90,7 +98,11 @@ let to_wire e =
   | Deadline_expired { waited_s; deadline_s } ->
       w_u8 b 5;
       w_f64 b waited_s;
-      w_f64 b deadline_s);
+      w_f64 b deadline_s
+  | Input_too_large { bytes; limit } ->
+      w_u8 b 6;
+      w_u32 b bytes;
+      w_u32 b limit);
   Buffer.contents b
 
 exception Bad of string
@@ -143,6 +155,9 @@ let of_wire s =
     | 5 ->
         let waited_s = r_f64 () in
         Deadline_expired { waited_s; deadline_s = r_f64 () }
+    | 6 ->
+        let bytes = r_u32 () in
+        Input_too_large { bytes; limit = r_u32 () }
     | tag -> raise (Bad (Printf.sprintf "unknown error tag %d" tag)))
   with
   | e -> if !at <> String.length s then Result.Error "trailing bytes" else Ok e

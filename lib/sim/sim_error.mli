@@ -29,6 +29,10 @@ type t =
           the service admission queue — it never started executing.  A
           symptom of overload, not of the stream itself (contrast with
           {!Array_timeout}, which quarantines). *)
+  | Input_too_large of { bytes : int; limit : int }
+      (** A whole-input consumer ({!Input_stream.read_all}) refused to
+          materialize more than [limit] bytes in memory — stream the
+          input in chunks instead. *)
 
 exception Error of t
 (** The carrier used by streaming/checkpoint code paths; supervised

@@ -161,6 +161,93 @@ let test_iter_set_word_edges () =
   check (list int) "ascending word-edge visits" expect (List.rev !seen);
   Bitvec.iter_set (fun _ -> fail "empty vector visited") (Bitvec.create 200)
 
+(* Arena-slice representation at the byte/word boundary widths (0, 1,
+   63, 64, 65, 127, 128): serialization round-trips, popcount_and, and
+   shift-overflow drop semantics must be identical to self-backed
+   vectors, and every op must stay inside its own arena window — the
+   all-ones guard slices on either side catch any overrun. *)
+let test_arena_slice_boundary_widths () =
+  List.iter
+    (fun width ->
+      let ctx = Printf.sprintf "width %d" width in
+      let arena = Arena.create ~capacity:(2 + (3 * Bitvec.words_for width)) in
+      let glo = Bitvec.alloc_in arena 62 in
+      let v = Bitvec.alloc_in arena width in
+      let ghi = Bitvec.alloc_in arena 62 in
+      Bitvec.fill_ones glo;
+      Bitvec.fill_ones ghi;
+      for i = 0 to width - 1 do
+        if i mod 3 = 0 || i = width - 1 then Bitvec.set v i
+      done;
+      let bytes = Bitvec.to_bytes v in
+      check int (ctx ^ ": byte length") ((width + 7) / 8) (Bytes.length bytes);
+      let self = Bitvec.create width in
+      Bitvec.load_bytes self bytes;
+      check bool (ctx ^ ": slice -> self roundtrip") true (Bitvec.equal v self);
+      Bitvec.clear v;
+      Bitvec.load_bytes v bytes;
+      check bool (ctx ^ ": self -> slice roundtrip") true (Bitvec.equal self v);
+      check int (ctx ^ ": popcount_and slice/self")
+        (Bitvec.popcount v)
+        (Bitvec.popcount_and v self);
+      if width > 0 then begin
+        Bitvec.fill_ones v;
+        Bitvec.shift_left1 v ~carry_in:false;
+        check int (ctx ^ ": top bit dropped") (width - 1) (Bitvec.popcount v);
+        for _ = 1 to width - 1 do
+          Bitvec.shift_left1 v ~carry_in:false
+        done;
+        check bool (ctx ^ ": all bits shifted out") true (Bitvec.is_zero v)
+      end
+      else begin
+        Bitvec.fill_ones v;
+        check bool (ctx ^ ": width 0 stays empty") true (Bitvec.is_zero v);
+        Bitvec.shift_left1 v ~carry_in:true;
+        check bool (ctx ^ ": width-0 shift is a no-op") true (Bitvec.is_zero v)
+      end;
+      check bool
+        (ctx ^ ": guard slices untouched")
+        true
+        (Bitvec.popcount glo = 62 && Bitvec.popcount ghi = 62))
+    [ 0; 1; 63; 64; 65; 127; 128 ]
+
+let test_arena_slice_aliasing () =
+  let arena = Arena.create ~capacity:(2 * Bitvec.words_for 65) in
+  let a = Bitvec.alloc_in arena 65 in
+  let b = Bitvec.alloc_in arena 65 in
+  Bitvec.set a 64;
+  Bitvec.set b 0;
+  check bool "neighbor write invisible" false (Bitvec.get a 0);
+  check int "a popcount" 1 (Bitvec.popcount a);
+  let a' = Bitvec.of_arena arena ~off:0 ~width:65 in
+  check bool "aliased view sees a's bits" true (Bitvec.get a' 64 && Bitvec.equal a a');
+  Bitvec.reset a' 64;
+  check bool "write through the alias" true (Bitvec.is_zero a);
+  Bitvec.set a 3;
+  let c = Bitvec.copy a in
+  Bitvec.reset a 3;
+  check bool "copy is self-backed" true (Bitvec.get c 3);
+  check_raises "slice outside arena"
+    (Invalid_argument "Bitvec.of_arena: slice outside the arena's allocated words") (fun () ->
+      ignore (Bitvec.of_arena arena ~off:3 ~width:65))
+
+let test_arena_snapshot_restore () =
+  let arena = Arena.create ~capacity:8 in
+  let a = Bitvec.alloc_in arena 62 in
+  let b = Bitvec.alloc_in arena 124 in
+  Bitvec.set a 5;
+  Bitvec.set b 100;
+  let snap = Arena.snapshot arena in
+  check int "snapshot covers the used prefix" 3 (Array.length snap);
+  Bitvec.clear a;
+  Bitvec.set b 7;
+  Arena.restore arena snap;
+  check bool "a restored" true (Bitvec.get a 5);
+  check bool "b restored" true (Bitvec.get b 100 && not (Bitvec.get b 7));
+  check_raises "layout mismatch"
+    (Invalid_argument "Arena.restore: snapshot does not match this arena") (fun () ->
+      Arena.restore arena (Array.make 2 0))
+
 let prop_popcount_and_agrees =
   QCheck2.Test.make ~name:"popcount_and = popcount of intersection" ~count:300
     QCheck2.Gen.(triple (int_range 1 150) (int_bound max_int) (int_bound max_int))
@@ -209,6 +296,9 @@ let suite =
     test_case "popcount matches naive count" `Quick test_popcount_matches_naive;
     test_case "popcount_and" `Quick test_popcount_and;
     test_case "iter_set at word edges" `Quick test_iter_set_word_edges;
+    test_case "arena slices at boundary widths" `Quick test_arena_slice_boundary_widths;
+    test_case "arena slice aliasing and isolation" `Quick test_arena_slice_aliasing;
+    test_case "arena snapshot/restore" `Quick test_arena_snapshot_restore;
     QCheck_alcotest.to_alcotest prop_popcount_and_agrees;
     QCheck_alcotest.to_alcotest prop_shift_left_equals_multiply;
   ]

@@ -144,20 +144,19 @@ let test_store_lookup_roundtrip () =
 
 let test_mask_tables_hash_consed () =
   (* many states share character classes, so the 256-entry label tables
-     and successor masks must collapse to a handful of physical vectors *)
+     and successor masks must collapse to a handful of physical rows of
+     the flat packed mask table *)
   let nbva = Nbva.compile ~threshold:2 (parse "a{14}b|a{9}c|[ab]{4,30}d") in
   let physical, logical = Nbva.mask_table_stats nbva in
   check bool "tables are shared" true (physical < logical / 4);
-  (* and Marshal keeps the sharing: the image must be far smaller than
-     an unshared encoding of 256+ full-width vectors would be *)
+  (* the dedup is structural (equal rows share one offset in the flat
+     table), so the Marshal image — what the placement cache stores —
+     must stay below the bytes an unshared table of [logical] full-width
+     rows would occupy on its own *)
   let image = Marshal.to_string nbva [] in
-  let unshared =
-    Marshal.to_string
-      (Array.init logical (fun _ -> Bitvec.create (Nbva.num_states nbva)))
-      []
-  in
+  let nwords = Bitvec.words_for (Nbva.num_states nbva) in
   check bool "marshalled image benefits from sharing" true
-    (String.length image < String.length unshared)
+    (String.length image < logical * nwords * 8)
 
 let suite =
   [

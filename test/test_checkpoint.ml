@@ -544,6 +544,139 @@ let test_checkpoint_codec_roundtrip () =
       | Ok None -> fail "checkpoint vanished"
       | Error e -> failf "load failed: %s" (Sim_error.message e))
 
+(* The on-disk checkpoint format is frozen: test/golden/state.ckpt was
+   written by the pre-arena record-based engine, and saving the same
+   value today must reproduce it byte for byte.  If this test fails the
+   wire format changed — old checkpoints would be refused or misread —
+   so bump the Artifact version rather than regenerating the golden
+   file. *)
+let golden_dir = "golden"
+
+let golden_value () =
+  let bv width setbits =
+    let v = Bitvec.create width in
+    List.iter (Bitvec.set v) setbits;
+    v
+  in
+  {
+    Checkpoint.ck_fingerprint = "golden-fingerprint-v1";
+    ck_symbols = 123456789;
+    ck_degraded =
+      [
+        Sim_error.Array_crashed { array_id = 0; attempts = 1; detail = "boom" };
+        Sim_error.Array_timeout { array_id = 2; attempts = 3; deadline_s = 0.125 };
+      ];
+    ck_arrays =
+      [|
+        {
+          Checkpoint.cs_cycles = 42;
+          cs_reports = 7;
+          cs_energy_pj = [| 1.5; 2.25 |];
+          cs_mode_pj = [| 0.5; 0.; 3.125 |];
+          cs_engines =
+            [|
+              [|
+                bv 0 [];
+                bv 1 [ 0 ];
+                bv 63 [ 0; 31; 62 ];
+                bv 64 [ 0; 63 ];
+                bv 65 [ 64 ];
+                bv 127 [ 0; 61; 62; 63; 126 ];
+                bv 128 [ 127 ];
+              |];
+            |];
+        };
+        {
+          Checkpoint.cs_cycles = 0;
+          cs_reports = 0;
+          cs_energy_pj = [||];
+          cs_mode_pj = [||];
+          cs_engines = [| [||] |];
+        };
+      |];
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_golden_checkpoint_format () =
+  let dir = temp_ckpt_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Checkpoint.save ~dir (golden_value ());
+      let fresh = read_file (Checkpoint.state_path ~dir) in
+      let golden = read_file (Checkpoint.state_path ~dir:golden_dir) in
+      check int "same size" (String.length golden) (String.length fresh);
+      check bool "byte-identical to the pre-arena golden file" true (String.equal fresh golden));
+  match Checkpoint.load ~dir:golden_dir with
+  | Ok (Some got) ->
+      let want = golden_value () in
+      check string "fingerprint" want.Checkpoint.ck_fingerprint got.Checkpoint.ck_fingerprint;
+      check int "symbols" want.Checkpoint.ck_symbols got.Checkpoint.ck_symbols;
+      check bool "degraded" true (want.Checkpoint.ck_degraded = got.Checkpoint.ck_degraded);
+      Array.iteri
+        (fun i (a : Checkpoint.array_state) ->
+          let g = got.Checkpoint.ck_arrays.(i) in
+          check int "cycles" a.Checkpoint.cs_cycles g.Checkpoint.cs_cycles;
+          check bool "energy" true (a.Checkpoint.cs_energy_pj = g.Checkpoint.cs_energy_pj);
+          Array.iteri
+            (fun e snap ->
+              Array.iteri
+                (fun v bvv ->
+                  check bool
+                    (Printf.sprintf "golden a%d e%d v%d" i e v)
+                    true
+                    (Bitvec.equal bvv g.Checkpoint.cs_engines.(e).(v)))
+                snap)
+            a.Checkpoint.cs_engines)
+        want.Checkpoint.ck_arrays
+  | Ok None -> fail "golden checkpoint missing"
+  | Error e -> failf "golden checkpoint failed to load: %s" (Sim_error.message e)
+
+(* Arena-backed flat snapshots (raw word blits, in-memory only) must
+   replay exactly like the format-bearing Bitvec snapshots. *)
+let test_flat_snapshot_roundtrip () =
+  let p = placement [ "a{30}b"; "ab*c"; "evilsig"; "x[yz]d"; "bc{5,12}d" ] in
+  let ex = Exec.build p p.Mapper.arrays.(0) in
+  let input =
+    String.concat "" (List.init 30 (fun i -> if i mod 5 = 0 then "evilsig" else "aaabcxyzd"))
+  in
+  let digest (ev : Exec.array_events) =
+    ( ev.Exec.reports,
+      ev.Exec.cross,
+      ev.Exec.stall,
+      Array.map
+        (fun (t : Exec.tile_events) -> (t.Exec.t_active_states, t.Exec.t_enabled_cols, t.Exec.t_powered))
+        ev.Exec.tiles )
+  in
+  let stepd ex i = digest (Exec.step rap ex ~sym:i input.[i]) in
+  let split = 100 in
+  for i = 0 to split - 1 do
+    ignore (stepd ex i)
+  done;
+  let flat = Exec.snapshot_flat ex in
+  let bvsnap = Exec.snapshot ex in
+  let tail ex =
+    let acc = ref [] in
+    for i = split to String.length input - 1 do
+      acc := stepd ex i :: !acc
+    done;
+    List.rev !acc
+  in
+  let tail_ref = tail ex in
+  Exec.restore_flat ex flat;
+  check bool "flat restore replays bit-identically" true (tail ex = tail_ref);
+  Exec.restore ex bvsnap;
+  check bool "flat and Bitvec snapshots replay identically" true (tail ex = tail_ref);
+  check bool "wrong-shape flat restore refused" true
+    (match Exec.restore_flat ex [| [| 0 |] |] with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
 let test_engine_restore_shape_checked () =
   let p = placement [ "a{30}b" ] in
   let ex = Exec.build p p.Mapper.arrays.(0) in
@@ -566,6 +699,8 @@ let suite =
     test_case "bitvec byte serialisation" `Quick test_bitvec_bytes_roundtrip;
     test_case "checkpoint codec roundtrip" `Quick test_checkpoint_codec_roundtrip;
     test_case "engine restore is shape-checked" `Quick test_engine_restore_shape_checked;
+    test_case "golden on-disk format is frozen" `Quick test_golden_checkpoint_format;
+    test_case "flat snapshots replay like Bitvec snapshots" `Quick test_flat_snapshot_roundtrip;
     test_case "corruption is detected at load" `Quick test_corruption_detected;
     test_case "fingerprint mismatch is refused" `Quick test_fingerprint_mismatch;
     test_case "unseekable resume is refused" `Quick test_unseekable_resume_refused;

@@ -133,10 +133,84 @@ let test_oversized_chunk_single_delivery () =
   check (option string) "chunk == length: one chunk" (Some contents) (Input_stream.next s);
   check (option string) "then exhausted" None (Input_stream.next s)
 
+(* The mmap fast path must be invisible: same chunks, same seeks, same
+   reports as the channel reader, and chunks must outlive [close]. *)
+let test_mmap_equals_channel () =
+  let contents = String.init 3_000 (fun i -> Char.chr (32 + (i * 31 mod 95))) in
+  let path = temp_input contents in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = Input_stream.of_file ~chunk:97 path in
+      let c = Input_stream.of_file ~chunk:97 ~mmap:false path in
+      check bool "regular file maps" true (Input_stream.is_mmap m);
+      check bool "--no-mmap falls back" false (Input_stream.is_mmap c);
+      check (option int) "same length" (Input_stream.length c) (Input_stream.length m);
+      let rec drain acc s =
+        match Input_stream.next s with None -> List.rev acc | Some ch -> drain (ch :: acc) s
+      in
+      let chunks_m = drain [] m and chunks_c = drain [] c in
+      check bool "chunk-identical delivery" true (chunks_m = chunks_c);
+      check string "reassembles" contents (String.concat "" chunks_m);
+      Input_stream.seek m 2_950;
+      Input_stream.seek c 2_950;
+      check bool "seek agrees" true (Input_stream.next m = Input_stream.next c);
+      (* a delivered chunk is a copy: it survives close *)
+      Input_stream.seek m 0;
+      let first = Input_stream.next m in
+      Input_stream.close m;
+      Input_stream.close c;
+      check (option string) "chunk valid after close" (Some (String.sub contents 0 97)) first;
+      (* simulator reports are bit-identical across the two paths *)
+      let p = placement () in
+      let matchy = String.concat "" (List.init 200 (fun _ -> "abbbc xyzzw ")) in
+      let mp = temp_input matchy in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove mp)
+        (fun () ->
+          check_reports_equal "mmap vs channel report"
+            (run_stream p (Input_stream.of_file ~chunk:64 mp))
+            (run_stream p (Input_stream.of_file ~chunk:64 ~mmap:false mp))));
+  (* empty files cannot be mapped: the fallback must engage silently *)
+  let empty = temp_input "" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove empty)
+    (fun () ->
+      let s = Input_stream.of_file empty in
+      check bool "empty file falls back" false (Input_stream.is_mmap s);
+      check (option string) "and is empty" None (Input_stream.next s);
+      Input_stream.close s)
+
+let test_read_all_cap () =
+  let contents = String.make 10_000 'x' in
+  check int "under the cap" 10_000
+    (String.length (Input_stream.read_all (Input_stream.of_string contents)));
+  (* known length over the cap: refused before buffering anything *)
+  (match Input_stream.read_all ~max_bytes:4_096 (Input_stream.of_string contents) with
+  | exception Sim_error.Error (Sim_error.Input_too_large { bytes; limit }) ->
+      check int "reported size" 10_000 bytes;
+      check int "reported limit" 4_096 limit
+  | _ -> fail "over-cap read_all must be refused");
+  (* position counts: only the remainder is measured against the cap *)
+  let s = Input_stream.of_string ~chunk:512 contents in
+  Input_stream.seek s 7_000;
+  check int "remainder under cap" 3_000 (String.length (Input_stream.read_all ~max_bytes:4_096 s));
+  (* unknown length (stdin): the cap still binds, mid-drain *)
+  with_stdin contents (fun () ->
+      match Input_stream.read_all ~max_bytes:4_096 (Input_stream.of_stdin ~chunk:512 ()) with
+      | exception Sim_error.Error (Sim_error.Input_too_large { limit; _ }) ->
+          check int "stdin limit" 4_096 limit
+      | _ -> fail "unknown-length over-cap read_all must be refused");
+  (* the typed error round-trips the service wire codec *)
+  let e = Sim_error.Input_too_large { bytes = 10_000; limit = 4_096 } in
+  check bool "wire roundtrip" true (Sim_error.of_wire (Sim_error.to_wire e) = Ok e)
+
 let suite =
   [
     test_case "file stream == string stream (edge chunks)" `Quick test_file_equals_string;
     test_case "stdin stream == string stream (edge chunks)" `Quick test_stdin_equals_string;
     test_case "empty file delivers no chunks" `Quick test_empty_file_stream_shape;
     test_case "chunk >= input delivers once" `Quick test_oversized_chunk_single_delivery;
+    test_case "mmap path == channel path" `Quick test_mmap_equals_channel;
+    test_case "read_all is capped" `Quick test_read_all_cap;
   ]
