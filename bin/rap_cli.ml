@@ -226,6 +226,22 @@ let resolve_jobs = function
       Printf.eprintf "error: --jobs %d is not a positive worker count\n" n;
       exit 2
 
+let intra_jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "intra-jobs" ] ~docv:"N"
+           ~doc:"Split each stream chunk into $(docv) pieces composed in parallel via \
+                 Simultaneous-FA transfer matrices (0 picks a machine-sized default). \
+                 Orthogonal to $(b,--jobs): that parallelizes across arrays, this \
+                 parallelizes within one stream.  Results are bit-identical for every \
+                 value.")
+
+let resolve_intra_jobs = function
+  | 0 -> Scheduler.default_jobs ()
+  | n when n >= 1 -> n
+  | n ->
+      Printf.eprintf "error: --intra-jobs %d is not a positive worker count\n" n;
+      exit 2
+
 (* Parse a rule list, reporting what was rejected like the fault driver
    does; exits when nothing survives. *)
 let parse_rules regexes =
@@ -300,11 +316,12 @@ let simulate_cmd =
              ~doc:"Read $(b,--file) input through the buffered channel reader instead of the \
                    default read-only memory mapping; results are byte-identical either way.")
   in
-  let run regexes input file arch jobs trace ckpt_dir ckpt_every resume strict deadline retries
-      chunk no_mmap cache =
+  let run regexes input file arch jobs intra_jobs trace ckpt_dir ckpt_every resume strict
+      deadline retries chunk no_mmap cache =
     if chunk <= 0 then fail_input "--chunk must be positive";
     let stream = required_stream ~chunk ~mmap:(not no_mmap) ~file input in
     let jobs = resolve_jobs jobs in
+    let intra_jobs = resolve_intra_jobs intra_jobs in
     let arch = arch_of arch in
     let params = Program.default_params in
     if ckpt_every <= 0 then fail_input "--checkpoint-every must be positive";
@@ -355,8 +372,8 @@ let simulate_cmd =
       in
       let sinks = match trace_sink with Some (_, spec, _) -> [ spec ] | None -> [] in
       match
-        Runner.run_stream ~jobs ~sinks ?policy ?checkpoint ~resume arch ~params placement
-          ~stream
+        Runner.run_stream ~jobs ~intra_jobs ~sinks ?policy ?checkpoint ~resume arch ~params
+          placement ~stream
       with
       | exception Sim_error.Error e ->
           Printf.eprintf "error: %s\n" (Sim_error.message e);
@@ -380,9 +397,9 @@ let simulate_cmd =
   in
   let doc = "Run a rule set through the cycle-level hardware simulator." in
   Cmd.v (Cmd.info "simulate" ~doc ~exits:common_exits)
-    Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ jobs_arg $ trace
-          $ ckpt_dir $ ckpt_every $ resume $ strict $ deadline $ retries $ chunk $ no_mmap
-          $ cache_arg)
+    Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ jobs_arg
+          $ intra_jobs_arg $ trace $ ckpt_dir $ ckpt_every $ resume $ strict $ deadline
+          $ retries $ chunk $ no_mmap $ cache_arg)
 
 (* ---- rap batch ---- *)
 
@@ -417,7 +434,7 @@ let batch_cmd =
              ~doc:"Also write each stream's report to $(docv)/$(i,stream).report, \
                    byte-identical to what $(b,rap simulate) prints for that input alone.")
   in
-  let run regexes files manifest arch jobs group chunk strict report_dir cache =
+  let run regexes files manifest arch jobs intra_jobs group chunk strict report_dir cache =
     if chunk <= 0 then fail_input "--chunk must be positive";
     if group <= 0 then fail_input "--group must be positive";
     let manifest_paths =
@@ -449,6 +466,7 @@ let batch_cmd =
       (fun p -> if not (Sys.file_exists p) then fail_input (Printf.sprintf "no such file %s" p))
       paths;
     let jobs = resolve_jobs jobs in
+    let intra_jobs = resolve_intra_jobs intra_jobs in
     let arch = arch_of arch in
     let params = Program.default_params in
     let parsed = parse_rules regexes in
@@ -464,7 +482,7 @@ let batch_cmd =
       let sources =
         Array.of_list (List.map (fun p -> Batch.of_file ~chunk ~name:p p) paths)
       in
-      match Batch.run ~jobs ~group arch ~params placement ~sources with
+      match Batch.run ~jobs ~intra_jobs ~group arch ~params placement ~sources with
       | exception Sim_error.Error e ->
           Printf.eprintf "error: %s\n" (Sim_error.message e);
           1
@@ -510,8 +528,8 @@ let batch_cmd =
      $(b,rap simulate) runs."
   in
   Cmd.v (Cmd.info "batch" ~doc ~exits:common_exits)
-    Term.(const run $ regexes_arg $ files $ manifest $ arch_arg $ jobs_arg $ group $ chunk
-          $ strict $ report_dir $ cache_arg)
+    Term.(const run $ regexes_arg $ files $ manifest $ arch_arg $ jobs_arg $ intra_jobs_arg
+          $ group $ chunk $ strict $ report_dir $ cache_arg)
 
 (* ---- rap faults ---- *)
 

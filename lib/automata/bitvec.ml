@@ -142,6 +142,19 @@ let blit ~src ~dst =
 
 let blit_words t dst off = Array.blit t.words t.off dst off (words_for t.width)
 
+let check_word t i =
+  if i < 0 || i >= words_for t.width then invalid_arg "Bitvec: word index out of bounds"
+
+let get_word t i =
+  check_word t i;
+  t.words.(t.off + i)
+
+let set_word t i w =
+  check_word t i;
+  t.words.(t.off + i) <- w land mask_all;
+  (* a top-word store may have raised bits at or beyond [width] *)
+  if i = words_for t.width - 1 then normalize t
+
 let intersects a b =
   check_same a b;
   let acc = ref 0 in

@@ -81,6 +81,17 @@ val blit_words : t -> int array -> int -> unit
     words into [dst] at [off] — raw word export for packing execution
     plans into flat tables. *)
 
+val get_word : t -> int -> int
+(** [get_word t i] is backing word [i] ([0 <= i < words_for width]) —
+    the raw word import/export primitive the SFA transfer matrices use
+    for single-word state spaces.  Raises [Invalid_argument] out of
+    bounds. *)
+
+val set_word : t -> int -> int -> unit
+(** [set_word t i w] stores [w] as backing word [i], masking away bits
+    at or beyond [width] (and beyond {!bits_per_word}) so dropped bits
+    never reappear.  Raises [Invalid_argument] out of bounds. *)
+
 val intersects : t -> t -> bool
 (** [true] when the two vectors share a set bit (no allocation). *)
 

@@ -43,6 +43,32 @@ let num_bv_stes t =
 let total_bv_bits t =
   Array.fold_left (fun acc s -> match s with Bv { size; _ } -> acc + size | Plain _ -> acc) 0 t.stes
 
+type word_tables = {
+  wt_n : int;
+  wt_labels : int array;
+  wt_succ : int array;
+  wt_initial : int;
+  wt_final : int;
+}
+
+(* The SFA transfer construction needs the transition structure as bare
+   single-word masks: it only exists for automata whose whole plain-STE
+   state space packs into one word and that carry no BV-STEs (a BV
+   vector is per-run mutable state, not a function of the start set, so
+   such automata compose by speculation instead). *)
+let word_tables t =
+  if num_bv_stes t > 0 || num_states t > Bitvec.bits_per_word then None
+  else
+    let p = t.plan in
+    Some
+      {
+        wt_n = num_states t;
+        wt_labels = Array.map (fun r -> p.masks.(r)) p.labels_row;
+        wt_succ = Array.map (fun r -> p.masks.(r)) p.succ_row;
+        wt_initial = p.masks.(p.initial_row);
+        wt_final = p.masks.(p.final_row);
+      }
+
 (* Generalised Glushkov: leaves are plain classes or whole BV chunks.  A BV
    chunk cc{m} (exact, m >= 2) is non-nullable; cc{0,k} is nullable — its
    nullability realises the 0-repetition bypass edge for free. *)

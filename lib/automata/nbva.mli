@@ -53,6 +53,24 @@ val num_bv_stes : t -> int
 val total_bv_bits : t -> int
 val cc_of : ste -> Charclass.t
 
+type word_tables = {
+  wt_n : int;  (** states — all fit in one {!Bitvec.bits_per_word} word *)
+  wt_labels : int array;  (** 256 per-byte label masks *)
+  wt_succ : int array;  (** per-state successor mask *)
+  wt_initial : int;
+  wt_final : int;
+}
+(** The execution plan exported as bare single-word masks — the exact
+    transition structure the bit-parallel kernel reads, in the form the
+    SFA transfer-matrix construction multiplies. *)
+
+val word_tables : t -> word_tables option
+(** [Some] iff the automaton has no BV-STEs and at most
+    {!Bitvec.bits_per_word} states (single-word active vector).  BV-STE
+    vectors are mutable per-run state, not a function of the start set,
+    so automata carrying them compose across chunks by speculation
+    rather than by transfer matrix. *)
+
 (** {1 Execution} — same match conventions as {!Nfa.run}. *)
 
 type run_state

@@ -85,8 +85,29 @@ let run_task arch members =
   in
   loop members
 
-let run ?(jobs = 1) ?(group = default_group) ?done_stamps (arch : Arch.t) ~params
-    (p : Mapper.placement) ~sources =
+(* Single-member task with intra-stream parallelism: no group to
+   interleave, so the stream's own chunks are split and composed through
+   Exec.run_chunks instead.  Event consumption (and therefore the
+   per-stream accounting) is the same code path as [run_task]'s. *)
+let run_task_intra ~intra_jobs arch m =
+  let base = ref 0 in
+  let rec loop () =
+    match Input_stream.next m.m_input with
+    | None -> ()
+    | Some chunk ->
+        Exec.run_chunks ~jobs:intra_jobs arch m.m_exec ~base:!base
+          ~chunks:(Runner.sub_split chunk intra_jobs)
+          ~emit:(fun ev ->
+            m.m_cycles <- m.m_cycles + 1 + ev.Exec.stall;
+            m.m_reports <- m.m_reports + ev.Exec.reports;
+            List.iter (fun (s : Sink.t) -> s.Sink.on_events ev) m.m_sinks);
+        base := !base + String.length chunk;
+        loop ()
+  in
+  loop ()
+
+let run ?(jobs = 1) ?(intra_jobs = 1) ?(group = default_group) ?done_stamps (arch : Arch.t)
+    ~params (p : Mapper.placement) ~sources =
   ignore params;
   let b = Array.length sources in
   if b = 0 then invalid_arg "Batch.run: no sources";
@@ -149,7 +170,10 @@ let run ?(jobs = 1) ?(group = default_group) ?done_stamps (arch : Arch.t) ~param
     in
     Fun.protect
       ~finally:(fun () -> Array.iter (fun m -> Input_stream.close m.m_input) members)
-      (fun () -> run_task arch members);
+      (fun () ->
+        if intra_jobs > 1 && k = 1 && Scheduler.available_parallelism () > 1 then
+          run_task_intra ~intra_jobs arch members.(0)
+        else run_task arch members);
     Array.iter
       (fun m ->
         cycles_slots.(m.m_stream).(ai) <- m.m_cycles;
@@ -158,7 +182,9 @@ let run ?(jobs = 1) ?(group = default_group) ?done_stamps (arch : Arch.t) ~param
         stamp_done m.m_stream)
       members
   in
-  Scheduler.parallel_for ~jobs (n_groups * num_arrays) task;
+  (* each task steps whole streams — far above the sequential-fallback
+     threshold, so keep the grid parallel whenever jobs allows *)
+  Scheduler.parallel_for ~work_per_index:65536 ~jobs (n_groups * num_arrays) task;
   let streams =
     Array.init b (fun s ->
         let _, ledgers, mode_slots = sinks.(s) in

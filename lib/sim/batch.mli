@@ -54,6 +54,7 @@ val default_group : int
 
 val run :
   ?jobs:int ->
+  ?intra_jobs:int ->
   ?group:int ->
   ?done_stamps:float array ->
   Arch.t ->
@@ -63,6 +64,12 @@ val run :
   t
 (** Run every source to exhaustion.  [jobs] bounds the worker domains
     (default 1); [group] the streams interleaved per kernel pass.
+    [intra_jobs] (default 1) applies Simultaneous-FA intra-stream
+    composition ({!Exec.run_chunks}) to tasks with a single member —
+    when the batch is too small to fill the machine with whole-stream
+    tasks, the streams themselves are split; reports stay bit-identical.
+    Multi-member tasks already interleave streams and keep the lockstep
+    kernel.
     [done_stamps] (length >= streams) receives, per stream, the
     wall-clock instant its last (group x array) task retired — the
     match service's per-request finish timestamp; streams in the same

@@ -343,6 +343,63 @@ let step t c =
   stats_of t
 
 (* ------------------------------------------------------------------ *)
+(* SFA chunk-composition surface.  [step_kernel] advances only the
+   automaton state — no tile projection, no stats — which is all the
+   transfer/speculation phases of [Exec.run_chunks] need; the replay
+   phase uses the full [step].  [sfa_tables] exports the transition
+   structure when the engine's whole state is one active word (then the
+   chunk composes by matrix); engines with BV vectors or multi-word
+   state return [None] and compose by speculation, for which
+   [semantic_zero] decides whether a from-scratch chunk run was in fact
+   run from the right (empty) state. *)
+
+let step_kernel t c =
+  match t with
+  | E_nfa e -> ignore (Nbva.step_selected e.exec e.exec_st c)
+  | E_nbva e -> ignore (Nbva.step_selected e.nu.Program.nbva e.nb_st c)
+  | E_bin e -> ignore (Shift_and.step e.sa e.sa_st c)
+
+let sfa_tables t =
+  match t with
+  | E_nfa e ->
+      Option.map
+        (fun (wt : Nbva.word_tables) ->
+          Sfa.linear ~n:wt.Nbva.wt_n ~labels:wt.Nbva.wt_labels ~succ:wt.Nbva.wt_succ)
+        (Nbva.word_tables e.exec)
+  | E_nbva e ->
+      Option.map
+        (fun (wt : Nbva.word_tables) ->
+          Sfa.linear ~n:wt.Nbva.wt_n ~labels:wt.Nbva.wt_labels ~succ:wt.Nbva.wt_succ)
+        (Nbva.word_tables e.nu.Program.nbva)
+  | E_bin e ->
+      Option.map
+        (fun (wt : Shift_and.word_tables) ->
+          Sfa.shift ~width:wt.Shift_and.swt_width ~labels:wt.Shift_and.swt_labels)
+        (Shift_and.word_tables e.sa)
+
+let active_vector = function
+  | E_nfa e -> Nbva.outputs e.exec_st
+  | E_nbva e -> Nbva.outputs e.nb_st
+  | E_bin e -> Shift_and.state_vector e.sa_st
+
+let active_word t = Bitvec.get_word (active_vector t) 0
+let set_active_word t w = Bitvec.set_word (active_vector t) 0 w
+
+let semantic_zero t =
+  Bitvec.is_zero (active_vector t)
+  &&
+  match t with
+  | E_bin _ -> true
+  | E_nfa e ->
+      Array.for_all
+        (function Some v -> Bitvec.is_zero v | None -> true)
+        (Nbva.vectors e.exec_st)
+  | E_nbva e ->
+      Array.for_all
+        (function Some v -> Bitvec.is_zero v | None -> true)
+        (Nbva.vectors e.nb_st)
+
+(* ------------------------------------------------------------------ *)
 (* Stream clones and packed multi-stream slots.  A clone shares every
    immutable compiled structure (automata, exec plans, tile masks, cross
    lists — all read-only after construction) and gets fresh run state and

@@ -59,6 +59,38 @@ val events : t -> events
 (** The engine's event record — physically the same record every {!step}
     returns.  Meaningful only after a [step]. *)
 
+(** {1 SFA chunk-composition surface}
+
+    [Exec.run_chunks] runs chunks of one stream in parallel and stitches
+    them together; these are the pieces it needs from an engine.  During
+    the parallel phases only the automaton state matters, so
+    {!step_kernel} advances it without tile projection or statistics —
+    the bit-identical event stream is reproduced later by replaying the
+    chunk with the full {!step} from the now-known entry state. *)
+
+val step_kernel : t -> char -> unit
+(** Advance the automaton state only (no projection, no stats) —
+    bit-identical in state effect to {!step}. *)
+
+val sfa_tables : t -> Sfa.tables option
+(** The engine's transition structure for transfer-matrix composition;
+    [Some] iff the whole inter-symbol state is a single active word
+    (≤ {!Bitvec.bits_per_word} states, no BV vectors).  Computed per
+    call — build once and share across clones. *)
+
+val active_word : t -> int
+(** Word 0 of the active vector.  Only meaningful as {e complete} state
+    when {!sfa_tables} is [Some]. *)
+
+val set_active_word : t -> int -> unit
+(** Install word 0 of the active vector (bits beyond the width are
+    masked away). *)
+
+val semantic_zero : t -> bool
+(** [true] when the engine is in the empty start state: active vector
+    zero and every materialized BV vector zero.  Scratch words are
+    ignored — they are overwritten by the next step. *)
+
 (** {1 Stream clones and batched stepping}
 
     One compiled placement can serve many independent input streams:

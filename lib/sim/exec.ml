@@ -5,6 +5,7 @@ type t = {
   last_events : Engine.events array;  (* parallel to [engines], refreshed by [step] *)
   tile_pieces : (int * int) list array;  (* physical tile -> (engine, local) *)
   tile_modes : Engine.mode array;
+  sfa : Sfa.tables option array;  (* per engine; shared by clones (immutable) *)
 }
 
 let build (p : Mapper.placement) (tiles : Mapper.placed_tile array) =
@@ -55,7 +56,13 @@ let build (p : Mapper.placement) (tiles : Mapper.placed_tile array) =
       tiles
   in
   let engines = Array.of_list (List.rev !engines) in
-  { engines; last_events = Array.map Engine.events engines; tile_pieces; tile_modes }
+  {
+    engines;
+    last_events = Array.map Engine.events engines;
+    tile_pieces;
+    tile_modes;
+    sfa = Array.map Engine.sfa_tables engines;
+  }
 
 let engines t = t.engines
 let tile_modes t = t.tile_modes
@@ -182,6 +189,7 @@ let clone_fresh t =
     last_events = Array.map Engine.events engines;
     tile_pieces = t.tile_pieces;
     tile_modes = t.tile_modes;
+    sfa = t.sfa;
   }
 
 type group = {
@@ -206,3 +214,121 @@ let members g = g.g_members
 let group_step arch g ~syms cs =
   Array.iter (fun m -> Engine.multi_step m cs) g.g_multis;
   Array.mapi (fun i t -> assemble arch t ~sym:syms.(i) cs.(i)) g.g_members
+
+(* ------------------------------------------------------------------ *)
+(* Intra-stream parallelism: Simultaneous-FA chunk composition.
+
+   One stream's chunks run concurrently even though each chunk's entry
+   state depends on every earlier chunk.  Four phases:
+
+   1. (parallel, per chunk) Run every engine's KERNEL on a fresh-state
+      clone — this yields the chunk's affine constant [b] (the state
+      from the empty start state) and, feeding the same bytes into
+      {!Sfa.feed}, the homogeneous transfer rows for single-word
+      engines.  Engines outside the matrix fragment (BV vectors,
+      multi-word state) get the clone run itself as a SPECULATION that
+      the chunk enters in the empty state.
+
+   2. (serial, left to right) Fold the chunks over the real context:
+      per engine, matrix engines compose by {!Sfa.apply}; speculative
+      engines whose entry state is {!Engine.semantic_zero} adopt the
+      clone's end state wholesale (the speculation was exact); on a
+      mismatch the engine's kernel re-runs the chunk serially.  The
+      entry snapshot of each chunk is captured here — it is unknowable
+      any earlier.
+
+   3. (parallel, per chunk) Replay each chunk with the FULL {!step}
+      from its now-known entry state, buffering the per-symbol
+      {!array_events} ({!assemble} allocates fresh records, so
+      buffering needs no copies).  Projections and stats are pure
+      functions of run state, so the replayed stream is exactly what a
+      serial run emits.
+
+   4. (serial) Emit the buffers in symbol order.
+
+   Phase 2 is O(engines × states) word ops per boundary for the matrix
+   fragment; speculation misses cost one kernel pass — still far below
+   the full per-symbol event pipeline, so Amdahl leaves phases 1 and 3
+   carrying the win.  Phase 3 transiently holds one [array_events] per
+   buffered symbol.
+
+   Bit identity: reports, cycles, energy events, their float-add order
+   — everything downstream folds in phase-4 emission order, which is
+   symbol order, identical to serial. *)
+
+let run_chunks ?(jobs = 1) ?(deadline = Scheduler.no_deadline) arch t ~base ~chunks ~emit =
+  let k = Array.length chunks in
+  let total = Array.fold_left (fun acc c -> acc + String.length c) 0 chunks in
+  if k = 0 || total = 0 then ()
+  else if jobs <= 1 || k = 1 then
+    (* degenerate split: plain serial loop, no clones *)
+    let sym = ref base in
+    Array.iter
+      (fun chunk ->
+        String.iter
+          (fun c ->
+            if (!sym - base) land 255 = 0 then Scheduler.check_deadline deadline;
+            emit (step arch t ~sym:!sym c);
+            incr sym)
+          chunk)
+      chunks
+  else begin
+    let n_eng = Array.length t.engines in
+    let bases = Array.make k base in
+    for ki = 1 to k - 1 do
+      bases.(ki) <- bases.(ki - 1) + String.length chunks.(ki - 1)
+    done;
+    let clones = Array.init k (fun _ -> clone_fresh t) in
+    let xfers = Array.init k (fun _ -> Array.map (Option.map Sfa.start) t.sfa) in
+    let work = max 1 (total / k) in
+    (* phase 1: transfer rows + speculative from-zero kernel runs *)
+    Scheduler.parallel_for ~work_per_index:work ~jobs k (fun ki ->
+        let cl = clones.(ki) and xf = xfers.(ki) in
+        String.iteri
+          (fun off c ->
+            if off land 255 = 0 then Scheduler.check_deadline deadline;
+            Array.iter (function Some x -> Sfa.feed x c | None -> ()) xf;
+            Array.iter (fun e -> Engine.step_kernel e c) cl.engines)
+          chunks.(ki));
+    (* phase 2: serial composition over the real context *)
+    let starts = Array.make k [||] in
+    for ki = 0 to k - 1 do
+      Scheduler.check_deadline deadline;
+      starts.(ki) <- snapshot_flat t;
+      let cl = clones.(ki) and xf = xfers.(ki) in
+      for j = 0 to n_eng - 1 do
+        let e = t.engines.(j) in
+        match xf.(j) with
+        | Some x ->
+            Engine.set_active_word e
+              (Sfa.apply x ~b:(Engine.active_word cl.engines.(j)) (Engine.active_word e))
+        | None ->
+            if Engine.semantic_zero e then
+              (* speculation hit: the chunk really did start from the
+                 empty state, so the clone's end state is the truth *)
+              Engine.restore_flat e (Engine.snapshot_flat cl.engines.(j))
+            else
+              (* mismatch: this engine re-runs the chunk's kernel *)
+              String.iteri
+                (fun off c ->
+                  if off land 255 = 0 then Scheduler.check_deadline deadline;
+                  Engine.step_kernel e c)
+                chunks.(ki)
+      done
+    done;
+    (* phase 3: parallel full-stats replay from the known entry states *)
+    let bufs = Array.map (fun c -> Array.make (String.length c) None) chunks in
+    Scheduler.parallel_for ~work_per_index:work ~jobs k (fun ki ->
+        let cl = clones.(ki) in
+        restore_flat cl starts.(ki);
+        let buf = bufs.(ki) and cbase = bases.(ki) in
+        String.iteri
+          (fun off c ->
+            if off land 255 = 0 then Scheduler.check_deadline deadline;
+            buf.(off) <- Some (step arch cl ~sym:(cbase + off) c))
+          chunks.(ki));
+    (* phase 4: ordered emission *)
+    Array.iter
+      (Array.iter (function Some ev -> emit ev | None -> assert false))
+      bufs
+  end

@@ -60,7 +60,19 @@ let of_file ?chunk ?(mmap = true) path =
   | Some (map, size) -> make ?chunk (Src_mmap { map; size }) (Some size)
   | None -> (
       match open_in_bin path with
-      | ic -> make ?chunk (Src_channel { ic; seekable = true }) (Some (in_channel_length ic))
+      | ic ->
+          (* Only regular files are seekable with a knowable length:
+             [in_channel_length] on a fifo/device raises, and an lseek on
+             one is meaningless, so classify by fstat instead of assuming.
+             Chunk delivery is identical either way — the channel reader
+             already handles short reads. *)
+          let seekable, len =
+            match Unix.fstat (Unix.descr_of_in_channel ic) with
+            | { Unix.st_kind = Unix.S_REG; st_size; _ } -> (true, Some st_size)
+            | _ -> (false, None)
+            | exception Unix.Unix_error _ -> (false, None)
+          in
+          make ?chunk (Src_channel { ic; seekable }) len
       | exception Sys_error msg -> fail (Printf.sprintf "cannot open %S: %s" path msg))
 
 let of_stdin ?chunk () = make ?chunk (Src_channel { ic = stdin; seekable = false }) None
@@ -134,7 +146,8 @@ let seek t off =
         fail (Printf.sprintf "seek offset %d beyond input of %d bytes" off size);
       t.position <- off
   | Src_channel { ic; seekable } ->
-      if not seekable then fail "input is not seekable (stdin); resume needs --file or a literal";
+      if not seekable then
+        fail "input is not seekable (stdin or non-regular file); resume needs a regular file or a literal";
       (match t.len with
       | Some l when off > l -> fail (Printf.sprintf "seek offset %d beyond input of %d bytes" off l)
       | _ -> ());

@@ -19,7 +19,10 @@ val of_string : ?chunk:int -> string -> t
 
 val of_file : ?chunk:int -> ?mmap:bool -> string -> t
 (** Opens the file now; raises [Sim_error.Error (Stream_failed _)] when
-    it cannot be opened.  Length is known up front.
+    it cannot be opened.  Length is known up front for regular files;
+    non-regular paths (fifos, character devices, [/proc] pseudo-files)
+    open fine but report no length and are not seekable — they stream
+    through the channel reader with identical chunk boundaries.
 
     With [mmap] (default [true]) a non-empty regular file is mapped
     read-only ([Unix.map_file]): chunks come straight from the mapping

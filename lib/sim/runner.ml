@@ -309,9 +309,23 @@ let deadline_stride = 256
 
 let mismatch detail = raise (Sim_error.Error (Sim_error.Checkpoint_mismatch { detail }))
 
-let run_stream ?(jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false) (arch : Arch.t)
-    ~params (p : Mapper.placement) ~stream =
+(* Split one chunk into [k] near-equal contiguous pieces for SFA
+   composition (first [len mod k] pieces one byte longer). *)
+let sub_split chunk k =
+  let len = String.length chunk in
+  let k = max 1 (min k len) in
+  let q = len / k and r = len mod k in
+  Array.init k (fun i -> String.sub chunk ((i * q) + min i r) (q + if i < r then 1 else 0))
+
+let run_stream ?(jobs = 1) ?(intra_jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false)
+    (arch : Arch.t) ~params (p : Mapper.placement) ~stream =
   ignore params;
+  (* Chunk composition costs roughly one extra kernel pass over the
+     input; with a single domain there is nothing to overlap it with, so
+     the split would only slow the run down.  Same reasoning as the
+     scheduler's sequential fallback — and same observability: results
+     are bit-identical either way. *)
+  let intra_jobs = if Scheduler.available_parallelism () > 1 then intra_jobs else 1 in
   let num_arrays = Array.length p.Mapper.arrays in
   let chars_hint = match Input_stream.length stream with Some n -> n | None -> 0 in
   let energy_spec, ledgers, mode_slots = energy_sink arch ~num_arrays in
@@ -373,26 +387,38 @@ let run_stream ?(jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false) (
        attempt leaves the slots untouched, so only engine state and the
        energy sink need explicit rollback *)
     let cycles = ref cycles_slots.(array_id) and reports = ref reports_slots.(array_id) in
-    String.iteri
-      (fun off c ->
-        if off land (deadline_stride - 1) = 0 then Scheduler.check_deadline deadline;
-        let sym = base + off in
-        let ev = Exec.step arch ex ~sym c in
-        cycles := !cycles + 1 + ev.Exec.stall;
-        reports := !reports + ev.Exec.reports;
-        List.iter (fun (i : Sink.t) -> i.Sink.on_events ev) il;
-        (* fault-injection surface: runs after this symbol's events are
-           banked, so corruption lands in the stored state and is first
-           seen at the next symbol *)
-        List.iter (fun f -> f ~sym (Exec.engines ex)) sl)
-      chunk;
+    (if intra_jobs > 1 && sl = [] && String.length chunk > 1 then
+       (* SFA path: chunk pieces run in parallel, events emit in symbol
+          order — the same folds as the serial branch below, over a
+          bit-identical event stream.  Fault sinks ([on_state]) mutate
+          engine state between symbols, which would poison the transfer
+          construction; arrays carrying them keep the serial branch. *)
+       Exec.run_chunks ~jobs:intra_jobs ~deadline arch ex ~base
+         ~chunks:(sub_split chunk intra_jobs) ~emit:(fun ev ->
+           cycles := !cycles + 1 + ev.Exec.stall;
+           reports := !reports + ev.Exec.reports;
+           List.iter (fun (i : Sink.t) -> i.Sink.on_events ev) il)
+     else
+       String.iteri
+         (fun off c ->
+           if off land (deadline_stride - 1) = 0 then Scheduler.check_deadline deadline;
+           let sym = base + off in
+           let ev = Exec.step arch ex ~sym c in
+           cycles := !cycles + 1 + ev.Exec.stall;
+           reports := !reports + ev.Exec.reports;
+           List.iter (fun (i : Sink.t) -> i.Sink.on_events ev) il;
+           (* fault-injection surface: runs after this symbol's events are
+              banked, so corruption lands in the stored state and is first
+              seen at the next symbol *)
+           List.iter (fun f -> f ~sym (Exec.engines ex)) sl)
+         chunk);
     cycles_slots.(array_id) <- !cycles;
     reports_slots.(array_id) <- !reports
   in
   let run_chunk ~base chunk =
     match policy with
     | None ->
-        Scheduler.parallel_for ~jobs num_arrays (fun i ->
+        Scheduler.parallel_for ~work_per_index:(String.length chunk) ~jobs num_arrays (fun i ->
             if quarantined.(i) = None then
               process_chunk ~deadline:Scheduler.no_deadline ~base chunk i)
     | Some policy ->
@@ -416,7 +442,8 @@ let run_stream ?(jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false) (
               Array.blit rb.rb_mode 0 mode_slots.(i) 0 (Array.length rb.rb_mode)
         in
         let outcomes =
-          Scheduler.supervised_for ~jobs ~policy num_arrays (fun ~deadline ~attempt i ->
+          Scheduler.supervised_for ~work_per_index:(String.length chunk) ~jobs ~policy
+            num_arrays (fun ~deadline ~attempt i ->
               if quarantined.(i) = None then begin
                 if attempt > 1 then restore_rollback i;
                 process_chunk ~deadline ~base chunk i
@@ -488,9 +515,9 @@ let run_stream ?(jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false) (
 
 (* One chunk spanning the whole string keeps the historical array-major
    symbol order at [jobs = 1], which shared-RNG fault sinks depend on. *)
-let run ?jobs ?sinks (arch : Arch.t) ~params (p : Mapper.placement) ~input =
+let run ?jobs ?intra_jobs ?sinks (arch : Arch.t) ~params (p : Mapper.placement) ~input =
   let stream = Input_stream.of_string ~chunk:(max 1 (String.length input)) input in
-  run_stream ?jobs ?sinks arch ~params p ~stream
+  run_stream ?jobs ?intra_jobs ?sinks arch ~params p ~stream
 
 (* Single pass: the stall tracer rides the same event stream as the
    energy accounting, so the engines run exactly once. *)

@@ -8,17 +8,40 @@
     started (fail-fast: work already in flight finishes, nothing new is
     pulled).
 
+    Worker domains are spawned once and parked in a persistent pool
+    between calls: the earlier spawn-per-call design put a few hundred
+    microseconds of domain startup on every dispatch, which made
+    [--jobs 4] {e slower} than [--jobs 1] on small chunks.  Effective
+    fan-out is additionally clamped to {!available_parallelism} (domains
+    beyond the machine's cores only add overhead), and callers that can
+    estimate their per-index cost pass [?work_per_index] so tiny
+    dispatches skip the pool entirely.  At most one pooled job runs at a
+    time; a nested or concurrent [parallel_for] — e.g. intra-chunk
+    fan-out under the per-array dispatch — runs inline sequentially,
+    which is deadlock-free and costs nothing when the cores are already
+    occupied.
+
     Determinism contract: [f i] must confine its writes to slot [i] of
     pre-allocated result arrays; the caller then merges slots in index
     order, making every schedule (including [jobs = 1]) produce
     bit-identical results. *)
 
-val default_jobs : unit -> int
-(** [Domain.recommended_domain_count], clamped to [1..8]. *)
+val available_parallelism : unit -> int
+(** Cores usable by this process: [Domain.recommended_domain_count]
+    clamped to [1..8].  The [RAP_SCHED_DOMAINS] environment variable
+    (read on every call) overrides the probe — tests and CI use it to
+    exercise the pool protocol on machines with fewer visible cores. *)
 
-val parallel_for : jobs:int -> int -> (int -> unit) -> unit
-(** [parallel_for ~jobs n f] runs [f 0 .. f (n-1)] on [min jobs n]
-    domains ([jobs <= 1] degenerates to a plain sequential loop). *)
+val default_jobs : unit -> int
+(** Alias for {!available_parallelism}. *)
+
+val parallel_for : ?work_per_index:int -> jobs:int -> int -> (int -> unit) -> unit
+(** [parallel_for ~jobs n f] runs [f 0 .. f (n-1)] on
+    [min jobs n (available_parallelism ())] domains from the persistent
+    pool ([jobs <= 1] degenerates to a plain sequential loop).
+    [?work_per_index] estimates the cost of one index in input symbols;
+    when [work_per_index * n] falls below an internal threshold the call
+    runs inline — dispatch overhead would exceed the work. *)
 
 (** {1 Supervision}
 
@@ -65,6 +88,7 @@ val default_policy : policy
 (** No deadline, 2 retries, 50 ms base backoff. *)
 
 val supervised_for :
+  ?work_per_index:int ->
   jobs:int ->
   policy:policy ->
   int ->

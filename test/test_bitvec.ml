@@ -282,6 +282,79 @@ let prop_shift_left_equals_multiply =
       Bitvec.iter_set (fun i -> got := !got lor (1 lsl i)) v;
       !got = expected)
 
+(* Word-level kernel surface (blit_words / get_word / set_word /
+   popcount_word / lsb_index) on arena-shared slices at the edge widths
+   the flat kernels hit: the ops must agree with the bit-level API and
+   never touch the neighbouring slices. *)
+let prop_word_ops_on_shared_slices =
+  QCheck2.Test.make ~name:"word ops on arena slices match bit-level API" ~count:300
+    QCheck2.Gen.(
+      triple (oneofl [ 0; 1; 61; 62; 63; 64; 65; 123; 124; 125 ]) (int_bound max_int)
+        (int_bound max_int))
+    (fun (width, seed, wword) ->
+      let nw = Bitvec.words_for width in
+      let arena = Arena.create ~capacity:(2 + (3 * nw)) in
+      let glo = Bitvec.alloc_in arena 62 in
+      let v = Bitvec.alloc_in arena width in
+      let ghi = Bitvec.alloc_in arena 62 in
+      Bitvec.fill_ones glo;
+      Bitvec.fill_ones ghi;
+      for i = 0 to width - 1 do
+        if (seed lsr (i mod 60)) land 1 = 1 then Bitvec.set v i
+      done;
+      (* get_word reassembles the exact bit pattern *)
+      let via_words = ref true in
+      for i = 0 to width - 1 do
+        let w = Bitvec.get_word v (i / Bitvec.bits_per_word) in
+        let bit = (w lsr (i mod Bitvec.bits_per_word)) land 1 = 1 in
+        if bit <> Bitvec.get v i then via_words := false
+      done;
+      (* popcount_word folded over blit_words output = popcount *)
+      let dump = Array.make (nw + 2) max_int in
+      Bitvec.blit_words v dump 1;
+      let folded = ref 0 in
+      for i = 1 to nw do
+        folded := !folded + Bitvec.popcount_word dump.(i)
+      done;
+      let fold_ok = !folded = Bitvec.popcount v in
+      let blit_fenced = dump.(0) = max_int && dump.(nw + 1) = max_int in
+      (* lsb_index of the first nonzero word = index of the lowest set bit *)
+      let lsb_ok =
+        if Bitvec.is_zero v then true
+        else begin
+          let first = ref 0 in
+          while Bitvec.get_word v !first = 0 do
+            incr first
+          done;
+          let low = ref (-1) in
+          Bitvec.iter_set (fun i -> if !low < 0 then low := i) v;
+          (!first * Bitvec.bits_per_word) + Bitvec.lsb_index (Bitvec.get_word v !first) = !low
+        end
+      in
+      (* set_word masks the top word to width and round-trips *)
+      let set_ok =
+        if width = 0 then begin
+          Bitvec.set_word v 0 wword;
+          Bitvec.is_zero v
+        end
+        else begin
+          let before = Bitvec.to_bool_array v in
+          Bitvec.set_word v (nw - 1) (Bitvec.get_word v (nw - 1));
+          let same = Bitvec.to_bool_array v = before in
+          Bitvec.set_word v (nw - 1) wword;
+          let top_bits = width - ((nw - 1) * Bitvec.bits_per_word) in
+          let mask = if top_bits >= Bitvec.bits_per_word then max_int else (1 lsl top_bits) - 1 in
+          same && Bitvec.get_word v (nw - 1) = wword land mask && Bitvec.popcount v >= 0
+        end
+      in
+      let oob_ok =
+        match Bitvec.get_word v nw with
+        | exception Invalid_argument _ -> true
+        | _ -> false
+      in
+      !via_words && fold_ok && blit_fenced && lsb_ok && set_ok && oob_ok
+      && Bitvec.popcount glo = 62 && Bitvec.popcount ghi = 62)
+
 let suite =
   [
     test_case "create" `Quick test_create;
@@ -300,5 +373,6 @@ let suite =
     test_case "arena slice aliasing and isolation" `Quick test_arena_slice_aliasing;
     test_case "arena snapshot/restore" `Quick test_arena_snapshot_restore;
     QCheck_alcotest.to_alcotest prop_popcount_and_agrees;
+    QCheck_alcotest.to_alcotest prop_word_ops_on_shared_slices;
     QCheck_alcotest.to_alcotest prop_shift_left_equals_multiply;
   ]

@@ -1,0 +1,289 @@
+(* Simultaneous-FA chunk composition.  The load-bearing property is that
+   chunked execution is invisible: for ANY split of the input — random
+   pieces, 1-byte pieces, a split at every position — the emitted event
+   stream and the final report are bit-identical to serial stepping, for
+   every mode (matrix NFA/LNFA and speculative NBVA) and at jobs 1 and 4.
+
+   The suite pins RAP_SCHED_DOMAINS=4 around parallel runs so the
+   scheduler's worker-pool protocol really executes on multiple domains
+   even when the host shows a single core. *)
+
+open Alcotest
+
+let params = Program.default_params
+let parse = Parser.parse_exn
+let rap = Arch.rap ~bv_depth:params.Program.bv_depth
+
+let with_domains n f =
+  Unix.putenv "RAP_SCHED_DOMAINS" (string_of_int n);
+  Fun.protect ~finally:(fun () -> Unix.putenv "RAP_SCHED_DOMAINS" "") f
+
+(* ------------------------------------------------------------------ *)
+(* The affine-transfer algebra itself, against brute force: the state
+   reached from ANY start word equals [b ∨ ⋁ rows] where [b] is the run
+   from zero.  This is the induction at the heart of sfa.ml, checked
+   directly on both kernels. *)
+
+let word_gen n = QCheck.Gen.(map (fun w -> w land ((1 lsl n) - 1)) (int_bound max_int))
+
+let chunk_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 122)) (int_bound 40))
+
+let test_algebra_nbva () =
+  (* Repetition-free so threshold-2 compilation stays pure NFA (no
+     BV-STEs) and [word_tables] is available. *)
+  let nbva = Nbva.compile ~threshold:2 (parse "(wget|curl).*http") in
+  let wt = Option.get (Nbva.word_tables nbva) in
+  let tbl = Sfa.linear ~n:wt.Nbva.wt_n ~labels:wt.Nbva.wt_labels ~succ:wt.Nbva.wt_succ in
+  let prop (chunk, s) =
+    let x = Sfa.start tbl in
+    let st0 = Nbva.start nbva in
+    String.iter
+      (fun c ->
+        Sfa.feed x c;
+        ignore (Nbva.step nbva st0 c))
+      chunk;
+    let b = Bitvec.get_word (Nbva.outputs st0) 0 in
+    let st = Nbva.start nbva in
+    Bitvec.set_word (Nbva.outputs st) 0 s;
+    String.iter (fun c -> ignore (Nbva.step nbva st c)) chunk;
+    Sfa.apply x ~b s = Bitvec.get_word (Nbva.outputs st) 0
+  in
+  let arb = QCheck.make QCheck.Gen.(pair chunk_gen (word_gen wt.Nbva.wt_n)) in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300 ~name:"NBVA transfer = brute force from any state" arb prop)
+
+let test_algebra_shift () =
+  let mk s = Array.map Charclass.singleton (Array.init (String.length s) (String.get s)) in
+  let sa = Shift_and.of_bin [ mk "evil"; mk "wget" ] in
+  let wt = Option.get (Shift_and.word_tables sa) in
+  let tbl = Sfa.shift ~width:wt.Shift_and.swt_width ~labels:wt.Shift_and.swt_labels in
+  let prop (chunk, s) =
+    let x = Sfa.start tbl in
+    let st0 = Shift_and.start sa in
+    String.iter
+      (fun c ->
+        Sfa.feed x c;
+        ignore (Shift_and.step sa st0 c))
+      chunk;
+    let b = Bitvec.get_word (Shift_and.state_vector st0) 0 in
+    let st = Shift_and.start sa in
+    Bitvec.set_word (Shift_and.state_vector st) 0 s;
+    String.iter (fun c -> ignore (Shift_and.step sa st c)) chunk;
+    Sfa.apply x ~b s = Bitvec.get_word (Shift_and.state_vector st) 0
+  in
+  let arb = QCheck.make QCheck.Gen.(pair chunk_gen (word_gen wt.Shift_and.swt_width)) in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300 ~name:"Shift-And transfer = brute force from any state" arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Exec.run_chunks: the emitted event stream and the final engine state
+   must equal serial stepping for any split.  [array_events] is pure
+   data (ints, chars, bools, arrays, lists), so polymorphic equality is
+   structural bit-identity. *)
+
+let placements =
+  lazy
+    (List.map
+       (fun (name, rules) ->
+         let units, errs = Runner.compile_for rap ~params rules in
+         check int (name ^ " compiles") 0 (List.length errs);
+         (name, Runner.place rap ~params units))
+       [
+         (* matrix path: small NFA units, single-word state *)
+         ("nfa", [ ("a", parse "ab{3,10}c"); ("w", parse "(wget|curl).*http") ]);
+         (* bins: Shift-And matrix path *)
+         ("lnfa", [ ("e", parse "evilsig"); ("g", parse "wget"); ("r", parse "user=root") ]);
+         (* speculation path: BV-STEs present *)
+         ("nbva", [ ("x", parse "x[ab]{5,30}y"); ("q", parse "q{8}r") ]);
+         (* all modes mixed across several arrays *)
+         ("mixed", (Benchmarks.by_name "Yara").Benchmarks.regexes);
+       ])
+
+(* After the compared run, both contexts replay a serial suffix: the
+   chunked run must leave the context able to CONTINUE bit-identically,
+   which checks the semantic end state (active vectors, BV vectors)
+   without asserting on arena scratch words the next step overwrites. *)
+let suffix = " abbbc wget http evilsig xababababy tail"
+
+let serial_events p tiles input =
+  let ex = Exec.build p tiles in
+  let evs =
+    Array.init (String.length input) (fun sym -> Exec.step rap ex ~sym input.[sym])
+  in
+  let base = String.length input in
+  let tail =
+    Array.init (String.length suffix) (fun i -> Exec.step rap ex ~sym:(base + i) suffix.[i])
+  in
+  (evs, tail, Exec.snapshot ex)
+
+let chunked_events ~jobs p tiles input chunks =
+  let ex = Exec.build p tiles in
+  let acc = ref [] in
+  Exec.run_chunks ~jobs rap ex ~base:0 ~chunks ~emit:(fun ev -> acc := ev :: !acc);
+  let base = String.length input in
+  let tail =
+    Array.init (String.length suffix) (fun i -> Exec.step rap ex ~sym:(base + i) suffix.[i])
+  in
+  (Array.of_list (List.rev !acc), tail, Exec.snapshot ex)
+
+let check_chunks_equal label p tiles input chunks jobs =
+  let want, want_tail, want_st = serial_events p tiles input in
+  let got, got_tail, got_st = chunked_events ~jobs p tiles input chunks in
+  check int (label ^ ": event count") (Array.length want) (Array.length got);
+  Array.iteri
+    (fun i ev ->
+      if not (ev = got.(i)) then
+        failf "%s: events diverge at symbol %d (of %d)" label i (Array.length want))
+    want;
+  Array.iteri
+    (fun i ev ->
+      if not (ev = got_tail.(i)) then failf "%s: continuation diverges at suffix %d" label i)
+    want_tail;
+  check bool (label ^ ": semantic end state") true (want_st = got_st)
+
+(* cut the input at each point of a random ascending position set *)
+let split_at input cuts =
+  let len = String.length input in
+  let cuts = List.sort_uniq compare (List.filter (fun p -> p > 0 && p < len) cuts) in
+  let bounds = (0 :: cuts) @ [ len ] in
+  let rec pieces = function
+    | a :: (b :: _ as rest) -> String.sub input a (b - a) :: pieces rest
+    | _ -> []
+  in
+  Array.of_list (pieces bounds)
+
+let input_gen =
+  (* Yara-ish bytes plus the literals the rule sets look for, so matches
+     actually straddle chunk boundaries *)
+  QCheck.Gen.(
+    map
+      (fun parts -> String.concat "" parts)
+      (list_size (int_range 1 12)
+         (oneof
+            [
+              oneofl [ "abbbc"; "wget http"; "evilsig"; "user=root"; "xababababy"; "qqqqqqqqr" ];
+              string_size ~gen:(map Char.chr (int_range 32 122)) (int_range 0 9);
+            ])))
+
+let test_run_chunks_random_splits () =
+  with_domains 4 (fun () ->
+      let arb =
+        QCheck.make
+          QCheck.Gen.(triple input_gen (list_size (int_range 0 6) (int_bound 80)) (int_range 2 5))
+      in
+      List.iter
+        (fun (name, (p : Mapper.placement)) ->
+          let prop (input, cuts, jobs) =
+            String.length input = 0
+            ||
+            let chunks = split_at input cuts in
+            Array.iteri
+              (fun ai tiles ->
+                check_chunks_equal
+                  (Printf.sprintf "%s array %d (random split)" name ai)
+                  p tiles input chunks jobs)
+              p.Mapper.arrays;
+            true
+          in
+          QCheck.Test.check_exn
+            (QCheck.Test.make ~count:40 ~name:(name ^ ": random splits ≡ serial") arb prop))
+        (Lazy.force placements))
+
+let test_run_chunks_extreme_splits () =
+  with_domains 4 (fun () ->
+      let input = "abbbc wget http evilsig user=root xababababy qqqqqqqqr end" in
+      let len = String.length input in
+      List.iter
+        (fun (name, (p : Mapper.placement)) ->
+          let tiles = p.Mapper.arrays.(0) in
+          (* 1-byte chunks *)
+          let bytes = Array.init len (fun i -> String.make 1 input.[i]) in
+          check_chunks_equal (name ^ " (1-byte chunks)") p tiles input bytes 4;
+          (* a split at every position *)
+          for pos = 1 to len - 1 do
+            check_chunks_equal
+              (Printf.sprintf "%s (split@%d)" name pos)
+              p tiles input (split_at input [ pos ]) 4
+          done)
+        (Lazy.force placements))
+
+(* ------------------------------------------------------------------ *)
+(* Runner-level bit identity: --intra-jobs must be invisible in the
+   report, alone and combined with per-array --jobs. *)
+
+let check_reports_equal label (a : Runner.report) (b : Runner.report) =
+  check int (label ^ ": cycles") a.Runner.cycles b.Runner.cycles;
+  check int (label ^ ": reports") a.Runner.match_reports b.Runner.match_reports;
+  List.iter
+    (fun cat ->
+      check (float 0.)
+        (label ^ ": " ^ Energy.category_name cat)
+        (Energy.get_pj a.Runner.energy cat)
+        (Energy.get_pj b.Runner.energy cat))
+    Energy.all_categories;
+  check bool (label ^ ": array details") true (a.Runner.arrays_detail = b.Runner.arrays_detail)
+
+let test_runner_intra_jobs_bit_identical () =
+  with_domains 4 (fun () ->
+      let input = (Benchmarks.by_name "Yara").Benchmarks.make_input ~chars:3_000 in
+      List.iter
+        (fun (name, p) ->
+          let run ~jobs ~intra_jobs = Runner.run ~jobs ~intra_jobs rap ~params p ~input in
+          let serial = run ~jobs:1 ~intra_jobs:1 in
+          check bool (name ^ ": simulation does work") true
+            (Energy.total_pj serial.Runner.energy > 0.);
+          List.iter
+            (fun (jobs, intra_jobs) ->
+              check_reports_equal
+                (Printf.sprintf "%s jobs=%d intra=%d" name jobs intra_jobs)
+                serial
+                (run ~jobs ~intra_jobs))
+            [ (1, 2); (1, 4); (4, 4); (4, 2) ])
+        (Lazy.force placements))
+
+(* chunked streaming + intra-jobs: piece boundaries inside each stream
+   chunk must not show either *)
+let test_runner_stream_chunks_and_intra_jobs () =
+  with_domains 4 (fun () ->
+      let name, p = List.hd (Lazy.force placements) in
+      let input = (Benchmarks.by_name "Yara").Benchmarks.make_input ~chars:2_000 in
+      let run ~chunk ~intra_jobs =
+        Runner.run_stream ~intra_jobs rap ~params p
+          ~stream:(Input_stream.of_string ~chunk input)
+      in
+      let serial = run ~chunk:(String.length input) ~intra_jobs:1 in
+      List.iter
+        (fun chunk ->
+          check_reports_equal
+            (Printf.sprintf "%s stream chunk=%d intra=4" name chunk)
+            serial (run ~chunk ~intra_jobs:4))
+        [ 97; 512; String.length input ])
+
+let test_sub_split () =
+  let recombine a = String.concat "" (Array.to_list a) in
+  List.iter
+    (fun (s, k) ->
+      let pieces = Runner.sub_split s k in
+      check string (Printf.sprintf "recombines (len %d, k %d)" (String.length s) k) s
+        (recombine pieces);
+      check bool "piece count" true (Array.length pieces = max 1 (min k (String.length s)));
+      Array.iter
+        (fun p -> check bool "no empty piece" true (String.length s = 0 || String.length p > 0))
+        pieces)
+    [ ("", 4); ("a", 4); ("abc", 2); ("abcdefgh", 3); ("abcdefgh", 8); ("abcdefghi", 4) ]
+
+let suite =
+  [
+    test_case "NBVA transfer algebra = brute force" `Quick test_algebra_nbva;
+    test_case "Shift-And transfer algebra = brute force" `Quick test_algebra_shift;
+    test_case "run_chunks: random splits ≡ serial (all modes)" `Quick
+      test_run_chunks_random_splits;
+    test_case "run_chunks: 1-byte chunks and every split point" `Quick
+      test_run_chunks_extreme_splits;
+    test_case "runner --intra-jobs bit-identity (jobs 1 and 4)" `Quick
+      test_runner_intra_jobs_bit_identical;
+    test_case "streamed chunks + intra-jobs bit-identity" `Quick
+      test_runner_stream_chunks_and_intra_jobs;
+    test_case "sub_split covers and recombines" `Quick test_sub_split;
+  ]

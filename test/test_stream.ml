@@ -181,6 +181,60 @@ let test_mmap_equals_channel () =
       check (option string) "and is empty" None (Input_stream.next s);
       Input_stream.close s)
 
+(* Non-regular files (fifos, /proc pseudo-files) must open through the
+   channel reader without raising — [in_channel_length] is meaningless
+   there — and deliver chunks identical to a string stream.  They are
+   not seekable, so resume refuses them with a typed error. *)
+let test_fifo_falls_back () =
+  let contents = String.concat "" (List.init 20 (fun _ -> "abbbc xyzzw ")) in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rap-stream-test-%d.fifo" (Unix.getpid ()))
+  in
+  Unix.mkfifo path 0o600;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* Hold an O_RDWR end so every open in [of_file] (the mmap probe
+         and the channel fallback) finds a writer and never blocks; the
+         contents fit the pipe buffer so the write completes inline. *)
+      let wfd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      let wrote =
+        Unix.write_substring wfd contents 0 (String.length contents)
+      in
+      check int "fifo preloaded" (String.length contents) wrote;
+      let s = Input_stream.of_file ~chunk:37 path in
+      Unix.close wfd;
+      (* close the writer: EOF becomes observable *)
+      check bool "fifo is not mmapped" false (Input_stream.is_mmap s);
+      check (option int) "fifo length unknown" None (Input_stream.length s);
+      (match Input_stream.seek s 5 with
+      | exception Sim_error.Error (Sim_error.Stream_failed _) -> ()
+      | () -> fail "seeking a fifo must be refused");
+      let rec drain acc s =
+        match Input_stream.next s with None -> List.rev acc | Some c -> drain (c :: acc) s
+      in
+      let got = drain [] s in
+      Input_stream.close s;
+      let want = drain [] (Input_stream.of_string ~chunk:37 contents) in
+      check bool "fifo chunks == string chunks" true (got = want))
+
+let test_proc_pseudo_file () =
+  (* /proc files fstat as zero-size: the mmap probe must skip them and
+     the channel reader must still deliver their actual contents. *)
+  if Sys.file_exists "/proc/version" then begin
+    let s = Input_stream.of_file "/proc/version" in
+    check bool "/proc is not mmapped" false (Input_stream.is_mmap s);
+    let contents = Input_stream.read_all s in
+    Input_stream.close s;
+    check bool "/proc delivers contents" true (String.length contents > 0);
+    let ic = open_in_bin "/proc/version" in
+    let want = In_channel.input_all ic in
+    close_in ic;
+    check string "/proc contents match stdlib read" want contents
+  end
+
 let test_read_all_cap () =
   let contents = String.make 10_000 'x' in
   check int "under the cap" 10_000
@@ -212,5 +266,7 @@ let suite =
     test_case "empty file delivers no chunks" `Quick test_empty_file_stream_shape;
     test_case "chunk >= input delivers once" `Quick test_oversized_chunk_single_delivery;
     test_case "mmap path == channel path" `Quick test_mmap_equals_channel;
+    test_case "fifo falls back to channel path" `Quick test_fifo_falls_back;
+    test_case "/proc pseudo-file streams" `Quick test_proc_pseudo_file;
     test_case "read_all is capped" `Quick test_read_all_cap;
   ]
