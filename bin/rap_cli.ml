@@ -242,6 +242,52 @@ let resolve_intra_jobs = function
       Printf.eprintf "error: --intra-jobs %d is not a positive worker count\n" n;
       exit 2
 
+let integrity_flag =
+  Arg.(value & flag
+       & info [ "integrity" ]
+           ~doc:"Arm the online integrity layer: CRC-sealed compiled tables, arena guard \
+                 words and a sampled shadow-replay sentinel.  A detected violation rolls \
+                 the array back to the chunk start, repairs the tables from pristine \
+                 copies and re-executes; an array that keeps tripping is quarantined with \
+                 a typed degraded error.  Off by default (and then strictly zero-cost).")
+
+let sweep_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "sweep-every" ] ~docv:"N"
+           ~doc:"With $(b,--integrity): re-verify table CRCs and arena guards at the \
+                 first chunk boundary after every $(docv) symbols (0 disables sweeps; \
+                 checkpoint-time verification still runs).")
+
+let sentinel_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "sentinel-every" ] ~docv:"N"
+           ~doc:"With $(b,--integrity): shadow-replay a sampled window through the \
+                 reference kernel every $(docv) symbols (0 disables the sentinel).")
+
+let integrity_config on sweep sentinel =
+  if not (on || sweep <> None || sentinel <> None) then None
+  else
+    let d = Integrity.default_config () in
+    Some
+      {
+        d with
+        Integrity.sweep_every = Option.value sweep ~default:d.Integrity.sweep_every;
+        sentinel_every = Option.value sentinel ~default:d.Integrity.sentinel_every;
+      }
+
+(* Stats go to stderr so stdout stays byte-identical to an unarmed run. *)
+let note_integrity = function
+  | None -> ()
+  | Some cfg ->
+      let st = cfg.Integrity.stats in
+      Printf.eprintf
+        "integrity: %d sweep(s), %d sentinel window(s), %d detection(s) (%d crc / %d guard \
+         / %d sentinel), %d repair(s), %d heal(s), %d quarantine(s)\n%!"
+        st.Integrity.sweeps st.Integrity.sentinel_checks
+        (Integrity.detections st)
+        st.Integrity.crc_trips st.Integrity.guard_trips st.Integrity.sentinel_trips
+        st.Integrity.repairs st.Integrity.heals st.Integrity.quarantines
+
 (* Parse a rule list, reporting what was rejected like the fault driver
    does; exits when nothing survives. *)
 let parse_rules regexes =
@@ -317,8 +363,9 @@ let simulate_cmd =
                    default read-only memory mapping; results are byte-identical either way.")
   in
   let run regexes input file arch jobs intra_jobs trace ckpt_dir ckpt_every resume strict
-      deadline retries chunk no_mmap cache =
+      deadline retries chunk no_mmap cache integrity sweep_every sentinel_every =
     if chunk <= 0 then fail_input "--chunk must be positive";
+    let integrity = integrity_config integrity sweep_every sentinel_every in
     let stream = required_stream ~chunk ~mmap:(not no_mmap) ~file input in
     let jobs = resolve_jobs jobs in
     let intra_jobs = resolve_intra_jobs intra_jobs in
@@ -372,8 +419,8 @@ let simulate_cmd =
       in
       let sinks = match trace_sink with Some (_, spec, _) -> [ spec ] | None -> [] in
       match
-        Runner.run_stream ~jobs ~intra_jobs ~sinks ?policy ?checkpoint ~resume arch ~params
-          placement ~stream
+        Runner.run_stream ~jobs ~intra_jobs ~sinks ?policy ?integrity ?checkpoint ~resume arch
+          ~params placement ~stream
       with
       | exception Sim_error.Error e ->
           Printf.eprintf "error: %s\n" (Sim_error.message e);
@@ -381,6 +428,7 @@ let simulate_cmd =
       | report ->
           Input_stream.close stream;
           print_report report;
+          note_integrity integrity;
           Option.iter
             (fun (path, _, dump) ->
               let oc = open_out path in
@@ -399,7 +447,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc ~exits:common_exits)
     Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ jobs_arg
           $ intra_jobs_arg $ trace $ ckpt_dir $ ckpt_every $ resume $ strict $ deadline
-          $ retries $ chunk $ no_mmap $ cache_arg)
+          $ retries $ chunk $ no_mmap $ cache_arg $ integrity_flag $ sweep_every_arg
+          $ sentinel_every_arg)
 
 (* ---- rap batch ---- *)
 
@@ -633,6 +682,105 @@ let faults_cmd =
     Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ rates $ seed $ trials
           $ cell_rate $ tile_rate $ switch_rate $ spares $ arrays $ strict)
 
+(* ---- rap chaos ---- *)
+
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int Fault.default_chaos_config.Fault.c_seed
+         & info [ "seed" ] ~doc:"Campaign seed (campaigns are deterministic per seed).")
+  in
+  let trials =
+    Arg.(value & opt int Fault.default_chaos_config.Fault.c_trials
+         & info [ "trials" ] ~doc:"Single-flip trials to run.")
+  in
+  let chunk =
+    Arg.(value & opt int Fault.default_chaos_config.Fault.c_chunk
+         & info [ "chunk" ] ~docv:"BYTES"
+             ~doc:"Streaming chunk size — the rollback/re-execution grain.")
+  in
+  let table_share =
+    Arg.(value & opt float Fault.default_chaos_config.Fault.c_table_share
+         & info [ "table-share" ] ~docv:"F"
+             ~doc:"Fraction of trials that flip a compiled-table bit instead of a stored \
+                   state bit.")
+  in
+  let rand_chars =
+    Arg.(value & opt (some int) None
+         & info [ "rand-chars" ] ~docv:"N"
+             ~doc:"Generate a seeded random printable input of $(docv) characters instead \
+                   of reading INPUT.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the campaign metrics (rates, MTTD, MTTR, gate booleans) as \
+                   JSON to $(docv), atomically.")
+  in
+  let run regexes input file arch seed trials chunk table_share rand_chars json =
+    if chunk <= 0 then fail_input "--chunk must be positive";
+    if table_share < 0. || table_share > 1. then fail_input "--table-share must be in [0,1]";
+    let input =
+      match rand_chars with
+      | Some n when n > 0 ->
+          let rng = Fault.make_rng seed in
+          String.init n (fun _ -> Char.chr (32 + Fault.rand_int rng 95))
+      | Some _ -> fail_input "--rand-chars must be positive"
+      | None -> required_input ~file input
+    in
+    let arch = arch_of arch in
+    let params = Program.default_params in
+    let parsed = parse_rules regexes in
+    let config =
+      { Fault.c_seed = seed; c_trials = trials; c_chunk = chunk; c_table_share = table_share }
+    in
+    match Fault.chaos ~arch ~params ~config parsed ~input with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok o ->
+        List.iter
+          (fun e -> Format.eprintf "dropped: %a@." Compile_error.pp e)
+          o.Fault.co_compile_errors;
+        Format.printf "%a@." Fault.pp_chaos_outcome o;
+        Option.iter
+          (fun path ->
+            let b = Buffer.create 512 in
+            Buffer.add_string b "{\n";
+            let kv last k v =
+              Buffer.add_string b (Printf.sprintf "  %S: %s%s\n" k v (if last then "" else ","))
+            in
+            kv false "seed" (string_of_int seed);
+            kv false "trials" (string_of_int trials);
+            kv false "injected" (string_of_int (Fault.chaos_injected o));
+            kv false "detected" (string_of_int (Fault.chaos_detected o));
+            kv false "benign" (string_of_int (Fault.chaos_benign o));
+            kv false "silent_wrong" (string_of_int (Fault.chaos_silent_wrong o));
+            kv false "recovered" (string_of_int (Fault.chaos_recovered o));
+            kv false "degraded_typed" (string_of_int (Fault.chaos_degraded_typed o));
+            kv false "heals" (string_of_int (Fault.chaos_heals o));
+            kv false "quarantines" (string_of_int (Fault.chaos_quarantines o));
+            kv false "detection_rate" (Printf.sprintf "%.6f" (Fault.chaos_detection_rate o));
+            kv false "mttd_syms" (Printf.sprintf "%.3f" (Fault.chaos_mttd_syms o));
+            kv false "mttr_s" (Printf.sprintf "%.6f" (Fault.chaos_mttr_s o));
+            kv false "integrity_detection_ok"
+              (string_of_bool (Fault.chaos_detection_ok o));
+            kv true "integrity_recovery_ok" (string_of_bool (Fault.chaos_recovery_ok o));
+            Buffer.add_string b "}\n";
+            Artifact.write ~path (Buffer.contents b);
+            Printf.printf "wrote %s\n" path)
+          json;
+        if Fault.chaos_detection_ok o && Fault.chaos_recovery_ok o then 0 else 1
+  in
+  let doc =
+    "Run a seeded runtime chaos campaign: one bit flip per trial into live run state or \
+     compiled tables, against a run armed with wall-to-wall integrity checking; reports \
+     detection rate, MTTD, MTTR and recovery success, and fails unless every harmful flip \
+     was detected and every detected fault recovered bit-identically or surfaced typed."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc ~exits:common_exits)
+    Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ seed $ trials $ chunk
+          $ table_share $ rand_chars $ json)
+
 (* ---- rap serve ---- *)
 
 let socket_arg =
@@ -695,7 +843,7 @@ let serve_cmd =
                    Shutdown frame.")
   in
   let run regexes arch jobs socket capacity max_input group retries backoff quarantine_after
-      state_dir write_budget max_requests cache =
+      state_dir write_budget max_requests cache integrity sweep_every sentinel_every =
     if capacity <= 0 then fail_input "--capacity must be positive";
     if group <= 0 then fail_input "--group must be positive";
     if max_input <= 0 then fail_input "--max-input must be positive";
@@ -731,6 +879,7 @@ let serve_cmd =
               backoff_s = backoff;
               quarantine_after;
               state_dir;
+              integrity = integrity_config integrity sweep_every sentinel_every;
             };
           write_budget;
           max_requests;
@@ -746,12 +895,13 @@ let serve_cmd =
   let doc =
     "Run the always-on match daemon: concurrent client streams multiplexed onto one \
      compiled placement, with bounded admission, per-request deadlines, typed load \
-     shedding, slow-client backpressure and crash recovery."
+     shedding, slow-client backpressure, crash recovery and (with $(b,--integrity)) \
+     online integrity checking with self-healing."
   in
   Cmd.v (Cmd.info "serve" ~doc ~exits:common_exits)
     Term.(const run $ regexes_arg $ arch_arg $ jobs_arg $ socket_arg $ capacity $ max_input
           $ group $ retries $ backoff $ quarantine_after $ state_dir $ write_budget
-          $ max_requests $ cache_arg)
+          $ max_requests $ cache_arg $ integrity_flag $ sweep_every_arg $ sentinel_every_arg)
 
 (* ---- rap client ---- *)
 
@@ -815,8 +965,12 @@ let client_cmd =
         in
         Service_client.with_connection ~wait_s socket (fun fd ->
             match Service_client.request ~class_ ?deadline_s:deadline fd ~name ~input:text with
-            | Service_client.Done { degraded; text; _ } ->
+            | Service_client.Done { degraded; recovered; text; _ } ->
                 print_string text;
+                if recovered then
+                  Printf.eprintf
+                    "recovered run: served through a recovery path (spool replay or \
+                     integrity heal); the report itself is clean\n";
                 if degraded > 0 then begin
                   Printf.eprintf "degraded run: %d array(s) quarantined\n" degraded;
                   if strict then 3 else 0
@@ -994,5 +1148,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ match_cmd; compile_cmd; simulate_cmd; batch_cmd; faults_cmd; serve_cmd;
+          [ match_cmd; compile_cmd; simulate_cmd; batch_cmd; faults_cmd; chaos_cmd; serve_cmd;
             client_cmd; eval_cmd; check_cmd; export_cmd; ablate_cmd; mnrl_cmd ]))

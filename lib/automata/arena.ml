@@ -1,10 +1,14 @@
 (* See arena.mli. *)
 
-type t = { words : int array; mutable used : int }
+type t = { words : int array; mutable used : int; mutable guards : int list }
 
 let create ~capacity =
   if capacity < 0 then invalid_arg "Arena.create: negative capacity";
-  { words = Array.make (max 1 capacity) 0; used = 0 }
+  { words = Array.make (max 1 capacity) 0; used = 0; guards = [] }
+
+(* A canary's value depends on its offset, so two guards swapped by a
+   wild blit still read as corrupt. *)
+let canary off = 0x2F0E1D3C4B5A6978 lxor (off * 0x9E3779B9)
 
 let capacity t = Array.length t.words
 let used t = t.used
@@ -20,7 +24,20 @@ let alloc t n =
   t.used <- off + n;
   off
 
-let clear t = Array.fill t.words 0 t.used 0
+let guard t =
+  let off = alloc t 1 in
+  t.words.(off) <- canary off;
+  t.guards <- off :: t.guards
+
+let guards_ok t = List.for_all (fun off -> t.words.(off) = canary off) t.guards
+
+let failed_guard t = List.find_opt (fun off -> t.words.(off) <> canary off) t.guards
+
+let rearm_guards t = List.iter (fun off -> t.words.(off) <- canary off) t.guards
+
+let clear t =
+  Array.fill t.words 0 t.used 0;
+  rearm_guards t
 
 let snapshot t = Array.sub t.words 0 t.used
 

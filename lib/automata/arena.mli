@@ -33,7 +33,31 @@ val words : t -> int array
     directly.  Callers must stay within ranges they allocated. *)
 
 val clear : t -> unit
-(** Zero every allocated word (offsets remain allocated). *)
+(** Zero every allocated word (offsets remain allocated); guard words
+    keep their canary values. *)
+
+(** {1 Guard words}
+
+    A guard is one allocated word holding an offset-dependent canary.
+    Placed between (or after) the live vectors of an executor's arena,
+    it catches out-of-range writes and random corruption: any write that
+    lands on it is visible to {!guards_ok}.  Guards travel with
+    {!snapshot}/{!restore}/{!copy_from} like ordinary words, so clones
+    and rollbacks stay guarded for free. *)
+
+val guard : t -> unit
+(** Allocate one word and arm it as a guard. *)
+
+val guards_ok : t -> bool
+(** [true] iff every guard word still holds its canary. *)
+
+val failed_guard : t -> int option
+(** Offset of the first corrupted guard word, for diagnostics. *)
+
+val rearm_guards : t -> unit
+(** Rewrite every guard word's canary.  A flat snapshot taken before a
+    guard was tripped restores the canary by itself; this is for healing
+    paths that restore state by other means. *)
 
 val snapshot : t -> int array
 (** Copy of the used prefix — the whole mutable state in one blit. *)

@@ -257,8 +257,14 @@ let state_words t =
 
 let start ?arena t =
   let n = num_states t in
-  let arena =
-    match arena with Some a -> a | None -> Arena.create ~capacity:(state_words t)
+  (* a private arena gets a trailing guard word (an armed canary past the
+     state words) so runtime corruption sweeping past the live vectors is
+     detectable; shared arenas are sized by the caller from [state_words]
+     and stay guard-free so that contract holds *)
+  let arena, private_arena =
+    match arena with
+    | Some a -> (a, false)
+    | None -> (Arena.create ~capacity:(state_words t + 1), true)
   in
   let nw = Bitvec.words_for n in
   let act_off = Arena.alloc arena nw in
@@ -269,6 +275,7 @@ let start ?arena t =
       (function Bv { size; _ } -> Some (Bitvec.alloc_in arena size) | Plain _ -> None)
       t.stes
   in
+  if private_arena then Arena.guard arena;
   {
     st_arena = arena;
     act_off;
@@ -284,6 +291,17 @@ let run_arena st = st.st_arena
 
 let bpw = Bitvec.bits_per_word
 
+(* Three plan tables hold INDICES, not data: [succ_row] and [labels_row]
+   point into the flat mask table, [bv_states] into the per-stream state
+   buffers.  The kernels feed them to unsafe accesses, so a corrupted
+   index word (a soft error in a long-lived process, or a chaos-harness
+   flip) is a wild read or write — a segfault or silent heap corruption.
+   Range-checking the index at its fetch turns that into a catchable
+   exception the integrity layer's seal check then attributes and heals;
+   pure data corruption (mask words, [bv_match] bytes) stays unchecked —
+   it is in-bounds by construction and the CRC sweep / sentinel own it. *)
+let corrupt_index () = invalid_arg "Nbva: corrupt plan table (index out of range)"
+
 (* Bit-parallel kernel: availability and Plain-STE activation are computed
    word-parallel straight over the arena's int array and the plan's flat
    mask table; only BV-STEs (a short dense list) get a scalar vector
@@ -297,6 +315,7 @@ let step t st c =
   let w = Arena.words st.st_arena in
   let masks = p.masks in
   let act = st.act_off and nxt = st.nxt_off and av = st.av_off in
+  let row_limit = Array.length masks - nw in
   (* avail = initial OR (union of successor masks of active states) *)
   Array.blit masks p.initial_row w av nw;
   let succ_row = p.succ_row in
@@ -306,6 +325,7 @@ let step t st c =
       let base = j * bpw in
       while !aw <> 0 do
         let row = Array.unsafe_get succ_row (base + Bitvec.lsb_index !aw) in
+        if row < 0 || row > row_limit then corrupt_index ();
         for i = 0 to nw - 1 do
           Array.unsafe_set w (av + i)
             (Array.unsafe_get w (av + i) lor Array.unsafe_get masks (row + i))
@@ -316,6 +336,7 @@ let step t st c =
   done;
   (* Plain STEs, all at once: next = avail AND labels[c] *)
   let lrow = Array.unsafe_get p.labels_row (Char.code c) in
+  if lrow < 0 || lrow > row_limit then corrupt_index ();
   for i = 0 to nw - 1 do
     Array.unsafe_set w (nxt + i)
       (Array.unsafe_get w (av + i) land Array.unsafe_get masks (lrow + i))
@@ -324,6 +345,7 @@ let step t st c =
   let bvs = p.bv_states in
   for i = 0 to Array.length bvs - 1 do
     let q = Array.unsafe_get bvs i in
+    if q < 0 || q >= Array.length st.vectors then corrupt_index ();
     let v = match Array.unsafe_get st.vectors q with Some v -> v | None -> assert false in
     if Bytes.unsafe_get p.bv_match ((i * 256) + Char.code c) <> '\000' then begin
       Bitvec.shift_left1 v ~carry_in:false;
@@ -400,6 +422,7 @@ let step_multi t sts cs hits =
   let k = Array.length sts in
   if Array.length cs < k || Array.length hits < k then
     invalid_arg "Nbva.step_multi: per-stream buffers shorter than the state array";
+  let row_limit = Array.length masks - nw in
   for s = 0 to k - 1 do
     let st = sts.(s) in
     let w = Arena.words st.st_arena in
@@ -411,6 +434,7 @@ let step_multi t sts cs hits =
         let base = j * bpw in
         while !aw <> 0 do
           let row = Array.unsafe_get p.succ_row (base + Bitvec.lsb_index !aw) in
+          if row < 0 || row > row_limit then corrupt_index ();
           for i = 0 to nw - 1 do
             Array.unsafe_set w (av + i)
               (Array.unsafe_get w (av + i) lor Array.unsafe_get masks (row + i))
@@ -424,6 +448,7 @@ let step_multi t sts cs hits =
     let st = sts.(s) in
     let w = Arena.words st.st_arena in
     let lrow = Array.unsafe_get p.labels_row (Char.code cs.(s)) in
+    if lrow < 0 || lrow > row_limit then corrupt_index ();
     for i = 0 to nw - 1 do
       Array.unsafe_set w (st.nxt_off + i)
         (Array.unsafe_get w (st.av_off + i) land Array.unsafe_get masks (lrow + i))
@@ -436,6 +461,7 @@ let step_multi t sts cs hits =
     for s = 0 to k - 1 do
       let st = sts.(s) in
       let w = Arena.words st.st_arena in
+      if q < 0 || q >= Array.length st.vectors then corrupt_index ();
       let v = match Array.unsafe_get st.vectors q with Some v -> v | None -> assert false in
       if Bytes.unsafe_get p.bv_match ((j * 256) + Char.code cs.(s)) <> '\000' then begin
         Bitvec.shift_left1 v ~carry_in:false;
@@ -472,6 +498,24 @@ let step_multi_selected t sts cs hits =
 let mask_table_stats t =
   let p = t.plan in
   (Array.length p.masks / p.nwords, Array.length p.labels_row + Array.length p.succ_row + 2)
+
+(* The plan's backing tables, by name, as the live references the kernel
+   reads — the integrity layer seals these with CRC-32 at run start and
+   repairs them from pristine copies when a sweep finds them corrupted.
+   [step_reference] deliberately reads none of them (it probes
+   [preds]/[initial]/[stes] instead), which is what makes shadow replay
+   a detector for mask-table corruption. *)
+let plan_tables t =
+  let p = t.plan in
+  [
+    ("masks", p.masks);
+    ("labels_row", p.labels_row);
+    ("succ_row", p.succ_row);
+    ("bv_states", p.bv_states);
+    ("bv_read", p.bv_read);
+  ]
+
+let plan_bytes t = [ ("bv_match", t.plan.bv_match) ]
 
 let bv_active_count t st =
   let acc = ref 0 in

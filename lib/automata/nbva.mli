@@ -84,9 +84,9 @@ val state_words : t -> int
 val start : ?arena:Arena.t -> t -> run_state
 (** Fresh (empty-input) run state.  All mutable words are allocated from
     [arena] when given ([state_words t] words are consumed), else from a
-    private arena of exactly that capacity — either way the state is a
-    contiguous word range, so cloning or checkpointing a stream is one
-    blit of the arena. *)
+    private arena of that capacity plus one trailing {!Arena.guard} word
+    — either way the state is a contiguous word range, so cloning or
+    checkpointing a stream is one blit of the arena. *)
 
 val run_arena : run_state -> Arena.t
 (** The arena holding this stream's mutable words (for flat snapshot /
@@ -138,6 +138,16 @@ val mask_table_stats : t -> int * int
     256 per-byte label masks, the per-state successor masks and the
     initial/final masks are hash-consed at construction, so [physical]
     is typically far below [logical]. *)
+
+val plan_tables : t -> (string * int array) list
+(** The execution plan's immutable int tables ([masks], [labels_row],
+    [succ_row], ...) as live references, by name — the regions the
+    integrity layer CRC-seals at run start, re-verifies on its sweep
+    cadence, and repairs from pristine copies.  Callers other than the
+    integrity layer (and fault injectors) must not mutate them. *)
+
+val plan_bytes : t -> (string * Bytes.t) list
+(** Same, for the plan's byte tables (the per-BV-STE [bv_match] table). *)
 
 val bv_active_count : t -> run_state -> int
 (** Number of BV-STEs whose vector is currently nonzero — the trigger count

@@ -69,6 +69,17 @@ let word_tables t =
         swt_initial = Bitvec.get_word t.initial_mask 0;
       }
 
+(* The engine's live mask vectors, by name — the regions the integrity
+   layer CRC-seals and repairs.  [labels] is the 256-entry per-byte
+   table; [initial]/[final] are single masks wrapped as 1-arrays so the
+   surface is uniform. *)
+let tables t =
+  [
+    ("labels", t.labels_mask);
+    ("initial", [| t.initial_mask |]);
+    ("final", [| t.final_mask |]);
+  ]
+
 type state = Bitvec.t
 
 let state_words t = Bitvec.words_for t.width

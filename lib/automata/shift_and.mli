@@ -36,6 +36,12 @@ type word_tables = {
 val word_tables : t -> word_tables option
 (** [Some] iff the packed width fits one backing word. *)
 
+val tables : t -> (string * Bitvec.t array) list
+(** The engine's immutable mask vectors as live references, by name
+    ([labels] — the 256 per-byte masks —, [initial], [final]): the
+    regions the integrity layer CRC-seals at run start and repairs from
+    pristine copies.  Do not mutate outside that layer. *)
+
 (** {1 Execution} *)
 
 type state

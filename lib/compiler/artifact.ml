@@ -61,13 +61,38 @@ let unframe ~magic ~version raw =
 
 (* ---- filesystem ---- *)
 
+(* Flush a directory's entry table to stable storage.  rename() makes an
+   artifact visible to other processes, but the new directory entry
+   itself lives in the page cache until the *directory* is fsynced — on
+   a power cut right after the rename, some filesystems recover with the
+   old entry (or none).  Durability failures are deliberately swallowed:
+   a filesystem that rejects fsync on a directory fd (some network
+   mounts) still gets the rename's atomicity, just not its durability,
+   and callers treat both the same way they always did. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let write ~path data =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data);
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc data;
+      flush oc;
+      (* the data must be durable before the rename commits it: renaming
+         an unsynced temp file can leave a zero-length artifact after a
+         crash, which the CRC would catch but durability should prevent *)
+      try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
   (* the rename is the commit point: readers only ever see the previous
      complete artifact or this one, never a torn write *)
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 let save ~path ~magic ~version payload = write ~path (frame ~magic ~version payload)
 

@@ -29,9 +29,20 @@ val unframe : magic:string -> version:int -> string -> (string, string) result
 (** Check and strip the envelope; [Error detail] on truncation, magic,
     version or CRC mismatch. *)
 
+val fsync_dir : string -> unit
+(** Fsync a directory fd so a just-renamed entry survives a power cut —
+    rename gives atomicity, only the directory fsync gives durability.
+    Best-effort: filesystems that reject directory fsync are ignored. *)
+
+val write : path:string -> string -> unit
+(** Durable atomic raw write (no envelope): write-temp + fsync + rename
+    + {!fsync_dir}.  For consumers with their own format — e.g. JSON
+    metrics files — that still want crash-safe replacement. *)
+
 val save : path:string -> magic:string -> version:int -> string -> unit
-(** [frame] then write-temp + rename.  Raises [Sys_error] on filesystem
-    failure (the containing directory must exist). *)
+(** [frame] then write-temp + fsync + rename + {!fsync_dir}.  Raises
+    [Sys_error] on filesystem failure (the containing directory must
+    exist). *)
 
 val load : path:string -> magic:string -> version:int -> (string option, string) result
 (** [Ok None] when [path] does not exist; otherwise read and [unframe].

@@ -9,15 +9,19 @@
     {!Artifact} keyed by a digest of exactly those inputs, so repeat
     runs and every stream of a batch skip compilation entirely.
 
-    The artifact payload is an OCaml [Marshal] image.  Everything
-    reachable from a placement is pure data (bit vectors, int arrays,
-    character classes — no closures), and [Marshal] preserves physical
-    sharing, so the hash-consed NBVA mask tables stay shared on disk and
-    after a load.  Guards, in order, at {!lookup}: envelope magic +
-    version + CRC (see {!Artifact}), the OCaml compiler version (Marshal
-    images are not cross-version stable), and the embedded key (catches
-    renamed or colliding files).  Any mismatch is an {!Invalid} — the
-    caller falls back to a cold compile and may overwrite the artifact.
+    The artifact payload is a plain length-prefixed [Sys.ocaml_version]
+    string followed by an OCaml [Marshal] image.  Everything reachable
+    from a placement is pure data (bit vectors, int arrays, character
+    classes — no closures), and [Marshal] preserves physical sharing,
+    so the hash-consed NBVA mask tables stay shared on disk and after a
+    load.  Guards, in order, at {!lookup}: envelope magic + version +
+    CRC (see {!Artifact}), the OCaml compiler version, and the embedded
+    key (catches renamed or colliding files).  The compiler-version
+    gate runs {e before} [Marshal.from_string] ever sees the payload:
+    Marshal images are not cross-version stable, and probing a
+    foreign-version image can crash rather than fail cleanly.  Any
+    mismatch is an {!Invalid} — the caller falls back to a cold compile
+    and may overwrite the artifact.
 
     Lives in the compiler library, below the simulator: callers that key
     on an architecture pass an opaque [arch_tag] digest. *)

@@ -9,6 +9,7 @@ type config = {
   backoff_s : float;
   quarantine_after : int;
   state_dir : string option;
+  integrity : Integrity.config option;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     backoff_s = 0.05;
     quarantine_after = 3;
     state_dir = None;
+    integrity = None;
   }
 
 type reject =
@@ -72,6 +74,8 @@ type t = {
   mutable completed : int;
   mutable failed : int;
   mutable degraded_runs : int;
+  mutable spool_replays : int;  (* spooled requests replayed after a crash *)
+  mutable quarantine_resets : int;  (* fault counters a clean run took back to 0 *)
   lat_interactive : Sink.Latency.t;
   lat_bulk : Sink.Latency.t;
   lat_queue_wait : Sink.Latency.t;
@@ -92,6 +96,8 @@ let create cfg arch ~params placement =
     completed = 0;
     failed = 0;
     degraded_runs = 0;
+    spool_replays = 0;
+    quarantine_resets = 0;
     lat_interactive = Sink.Latency.create ();
     lat_bulk = Sink.Latency.create ();
     lat_queue_wait = Sink.Latency.create ();
@@ -104,6 +110,8 @@ let journal t line =
 let pending t = Queue.length t.queue
 let shed_count t = t.shed
 let completed_count t = t.completed
+let spool_replay_count t = t.spool_replays
+let quarantine_reset_count t = t.quarantine_resets
 
 let quarantined t =
   Hashtbl.fold
@@ -228,7 +236,14 @@ let book_outcome t (o : outcome) =
     if n = t.cfg.quarantine_after then
       journal t (Printf.sprintf "quarantine name=%s faults=%d" o.o_name n)
   end
-  else if o.o_error = None then Hashtbl.replace t.faults o.o_name 0;
+  else if o.o_error = None then begin
+    (match Hashtbl.find_opt t.faults o.o_name with
+    | Some n when n > 0 ->
+        t.quarantine_resets <- t.quarantine_resets + 1;
+        journal t (Printf.sprintf "quarantine-reset name=%s was=%d" o.o_name n)
+    | _ -> ());
+    Hashtbl.replace t.faults o.o_name 0
+  end;
   journal t
     (Printf.sprintf "finish id=%d name=%s status=%s latency_ms=%.3f" o.o_id o.o_name
        (match o.o_error with
@@ -243,8 +258,10 @@ let book_outcome t (o : outcome) =
      outcome before removing the entry, so a crash between execution
      and the reply reaching the client cannot lose the result — the
      live reply then duplicates what the state dir already holds.
-     Temp-write + rename keeps a crash mid-write from leaving a torn
-     report beside a consumed spool entry. *)
+     The durable write (temp + fsync + rename + directory fsync) keeps
+     a crash mid-write from leaving a torn report beside a consumed
+     spool entry, and a power cut from losing a rename that the spool
+     removal below already assumed happened. *)
   (match t.cfg.state_dir with
   | None -> ()
   | Some dir ->
@@ -255,14 +272,7 @@ let book_outcome t (o : outcome) =
           Printf.sprintf "failed: %s\n"
             (match o.o_error with Some e -> Sim_error.message e | None -> "unknown")
       in
-      (try
-         let tmp = path ^ ".tmp" in
-         let oc = open_out tmp in
-         Fun.protect
-           ~finally:(fun () -> close_out_noerr oc)
-           (fun () -> output_string oc text);
-         Sys.rename tmp path
-       with Sys_error _ -> ());
+      (try Artifact.write ~path text with Sys_error _ -> ());
       Checkpoint.Spool.remove ~dir ~id:o.o_id)
 
 let outcome_of_report req ~started_at ~finished_at (report : Runner.report) =
@@ -315,10 +325,15 @@ let run_solo t req =
             })
           deadline
       in
+      let heals_before =
+        match t.cfg.integrity with
+        | Some c -> c.Integrity.stats.Integrity.heals
+        | None -> 0
+      in
       let run () =
         let stream = Input_stream.of_string req.p_input in
-        Runner.run_stream ~jobs:t.cfg.jobs ?policy t.arch ~params:t.params t.placement
-          ~stream
+        Runner.run_stream ~jobs:t.cfg.jobs ?policy ?integrity:t.cfg.integrity t.arch
+          ~params:t.params t.placement ~stream
       in
       let result =
         match policy with
@@ -330,8 +345,18 @@ let run_solo t req =
         | None -> with_retries t run
       in
       let finished_at = Unix.gettimeofday () in
+      (* a run the integrity layer rolled back and re-executed carries
+         the recovered marker: the report is clean (byte-identical to an
+         uncorrupted run) but the client should know it was healed *)
+      let healed =
+        match t.cfg.integrity with
+        | Some c -> c.Integrity.stats.Integrity.heals > heals_before
+        | None -> false
+      in
       (match result with
-      | Ok report -> outcome_of_report req ~started_at ~finished_at report
+      | Ok report ->
+          let o = outcome_of_report req ~started_at ~finished_at report in
+          if healed && report.Runner.degraded = [] then { o with o_recovered = true } else o
       | Error e -> outcome_of_error req ~started_at ~finished_at e)
 
 (* Batched run of deadline-free requests: one shared placement, streams
@@ -344,6 +369,10 @@ let run_batched t reqs =
   match reqs with
   | [] -> []
   | [ one ] -> [ run_solo t one ]
+  (* the batched kernel has no integrity hooks: with checking armed,
+     every request takes the (checked) solo path — coverage over
+     aggregate throughput *)
+  | _ when t.cfg.integrity <> None -> List.map (run_solo t) reqs
   | _ -> (
       let reqs_a = Array.of_list reqs in
       let b = Array.length reqs_a in
@@ -398,6 +427,7 @@ let recover t =
       if entries = [] then []
       else begin
         let now = Unix.gettimeofday () in
+        t.spool_replays <- t.spool_replays + List.length entries;
         List.iter
           (fun (e : Checkpoint.Spool.entry) ->
             t.next_id <- max t.next_id (e.Checkpoint.Spool.sp_id + 1);
@@ -436,10 +466,22 @@ let stats_json t =
          (fun (name, faults) -> Printf.sprintf {|{"name": %S, "faults": %d}|} name faults)
          (quarantined t))
   in
+  (* additive keys only: older clients that pick fields by name keep
+     working against newer daemons, and vice versa *)
+  let integrity_json =
+    match t.cfg.integrity with
+    | None -> "null"
+    | Some c ->
+        let s = c.Integrity.stats in
+        Printf.sprintf
+          {|{"sweeps": %d, "sentinel_checks": %d, "detections": %d, "repairs": %d, "heals": %d, "quarantines": %d}|}
+          s.Integrity.sweeps s.Integrity.sentinel_checks (Integrity.detections s)
+          s.Integrity.repairs s.Integrity.heals s.Integrity.quarantines
+  in
   Printf.sprintf
-    {|{"queue_depth": %d, "capacity": %d, "accepted": %d, "completed": %d, "shed": %d, "failed": %d, "degraded": %d, "quarantined": [%s], "latency": {"interactive": %s, "bulk": %s}, "queue_wait": %s}|}
+    {|{"queue_depth": %d, "capacity": %d, "accepted": %d, "completed": %d, "shed": %d, "failed": %d, "degraded": %d, "spool_replays": %d, "quarantine_resets": %d, "quarantined": [%s], "integrity": %s, "latency": {"interactive": %s, "bulk": %s}, "queue_wait": %s}|}
     (Queue.length t.queue) t.cfg.capacity t.accepted t.completed t.shed t.failed
-    t.degraded_runs quarantine_json
+    t.degraded_runs t.spool_replays t.quarantine_resets quarantine_json integrity_json
     (Sink.Latency.to_json t.lat_interactive)
     (Sink.Latency.to_json t.lat_bulk)
     (Sink.Latency.to_json t.lat_queue_wait)

@@ -58,11 +58,19 @@ type config = {
   backoff_s : float;  (** Base request-retry backoff (exponential). *)
   quarantine_after : int;  (** Consecutive faults before a name is refused. *)
   state_dir : string option;  (** Spool + journal directory; [None] = no recovery. *)
+  integrity : Integrity.config option;
+      (** Arm online integrity checking on every executed request.  The
+          batched kernel has no integrity hooks, so an armed daemon runs
+          every request on the (checked) solo path; a run the layer
+          rolled back and healed carries [o_recovered] so the client
+          sees that recovery happened — never a silently-corrupt
+          report. *)
 }
 
 val default_config : config
 (** capacity 64, max_input 64 MiB, group {!Batch.default_group}, jobs 1,
-    2 retries, 50 ms backoff, quarantine after 3 faults, no state dir. *)
+    2 retries, 50 ms backoff, quarantine after 3 faults, no state dir,
+    integrity off. *)
 
 type reject =
   | Queue_full of { depth : int; capacity : int; retry_after_s : float }
@@ -78,7 +86,10 @@ type outcome = {
   o_report : Runner.report option;  (** [None] when execution failed outright. *)
   o_text : string;  (** {!Runner.render_report} of the report; [""] on failure. *)
   o_error : Sim_error.t option;  (** Terminal failure (after retries). *)
-  o_recovered : bool;  (** Replayed from the spool after a crash. *)
+  o_recovered : bool;
+      (** Replayed from the spool after a crash, or healed in-flight by
+          the integrity layer (rolled back, repaired, re-executed to a
+          clean report). *)
   o_queued_s : float;  (** enqueue -> execution start. *)
   o_latency_s : float;  (** enqueue -> finish — the SLO latency. *)
 }
@@ -120,10 +131,22 @@ val recover : t -> outcome list
 
 val shed_count : t -> int
 val completed_count : t -> int
+
+val spool_replay_count : t -> int
+(** Spooled requests of previous incarnations replayed by {!recover}. *)
+
+val quarantine_reset_count : t -> int
+(** Stream fault counters a clean run took back to zero (each is a name
+    that had accumulated faults — possibly to the point of quarantine —
+    and then produced a clean report). *)
+
 val quarantined : t -> (string * int) list
 (** Names currently refused, with their fault counts. *)
 
 val stats_json : t -> string
-(** Queue depth, shed/completed/failed/degraded counters, quarantine
-    list, and per-class + queue-wait latency histograms
-    ({!Sink.Latency.to_json}) — the daemon's [Stats] reply. *)
+(** Queue depth, shed/completed/failed/degraded counters,
+    spool-replay and quarantine-reset counters, quarantine list, the
+    integrity counters (or [null] when unarmed), and per-class +
+    queue-wait latency histograms ({!Sink.Latency.to_json}) — the
+    daemon's [Stats] reply.  Keys are only ever added, so clients that
+    pick fields by name stay compatible across versions. *)

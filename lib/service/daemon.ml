@@ -199,7 +199,13 @@ let dispatch_outcome st (o : Admission.outcome) =
               | None -> 0
             in
             queue_reply st.cfg conn
-              (Wire.Report { id = o.Admission.o_id; degraded; text = o.Admission.o_text })
+              (Wire.Report
+                 {
+                   id = o.Admission.o_id;
+                   degraded;
+                   recovered = o.Admission.o_recovered;
+                   text = o.Admission.o_text;
+                 })
       end
 
 let bind_socket path =

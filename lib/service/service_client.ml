@@ -1,7 +1,7 @@
 (* See service_client.mli. *)
 
 type outcome =
-  | Done of { id : int; degraded : int; text : string }
+  | Done of { id : int; degraded : int; recovered : bool; text : string }
   | Failed of { id : int; error : Sim_error.t }
   | Shed of Wire.reply
 
@@ -52,7 +52,8 @@ let request ?(class_ = Wire.Bulk) ?deadline_s ?(chunk = 64 * 1024) fd ~name ~inp
          caller on this fd requested) until our terminal one arrives *)
       let rec await () =
         match recv fd with
-        | Wire.Report { id = rid; degraded; text } when rid = id -> Done { id; degraded; text }
+        | Wire.Report { id = rid; degraded; recovered; text } when rid = id ->
+            Done { id; degraded; recovered; text }
         | Wire.Failed { id = rid; error } when rid = id -> Failed { id; error }
         | Wire.Shutting_down -> client_fail "server shut down before replying"
         | _ -> await ()

@@ -2,9 +2,11 @@
     [rap client] and the CI smoke tests need to talk to a daemon. *)
 
 type outcome =
-  | Done of { id : int; degraded : int; text : string }
+  | Done of { id : int; degraded : int; recovered : bool; text : string }
       (** Accepted and executed; [text] is byte-identical to
-          [rap simulate] on the same input. *)
+          [rap simulate] on the same input.  [recovered] marks a report
+          that went through a recovery path (spool replay or integrity
+          heal) — see {!Wire.reply}. *)
   | Failed of { id : int; error : Sim_error.t }
       (** Accepted but execution failed terminally. *)
   | Shed of Wire.reply

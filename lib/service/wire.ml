@@ -22,7 +22,7 @@ type reply =
   | Overloaded of { depth : int; capacity : int; retry_after_s : float }
   | Quarantined of { name : string; faults : int }
   | Rejected of { reason : string }
-  | Report of { id : int; degraded : int; text : string }
+  | Report of { id : int; degraded : int; recovered : bool; text : string }
   | Failed of { id : int; error : Sim_error.t }
   | Stats_ok of { json : string }
   | Pong
@@ -176,10 +176,11 @@ let encode_reply r =
   | Rejected { reason } ->
       w_u8 b 0x84;
       w_str b reason
-  | Report { id; degraded; text } ->
+  | Report { id; degraded; recovered; text } ->
       w_u8 b 0x85;
       w_i64 b id;
       w_u32 b degraded;
+      w_u8 b (if recovered then 1 else 0);
       w_str b text
   | Failed { id; error } ->
       w_u8 b 0x86;
@@ -208,7 +209,8 @@ let decode_reply s =
     | 0x85 ->
         let id = r_i64 cur in
         let degraded = r_u32 cur in
-        Report { id; degraded; text = r_str cur }
+        let recovered = r_u8 cur <> 0 in
+        Report { id; degraded; recovered; text = r_str cur }
     | 0x86 -> (
         let id = r_i64 cur in
         match Sim_error.of_wire (r_str cur) with

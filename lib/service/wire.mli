@@ -18,7 +18,7 @@
       <- Accepted {id}                     queued (or a typed rejection:
                                            Overloaded / Quarantined /
                                            Rejected — the shed path)
-      <- Report {id; degraded; text}       execution finished (or Failed)
+      <- Report {id; degraded; recovered; text}   finished (or Failed)
     v}
     [Stats], [Ping] and [Shutdown] are single-frame conversations.
 
@@ -52,10 +52,15 @@ type reply =
   | Rejected of { reason : string }
       (** Protocol misuse or an over-limit request (e.g. input larger
           than the server's per-request cap). *)
-  | Report of { id : int; degraded : int; text : string }
+  | Report of { id : int; degraded : int; recovered : bool; text : string }
       (** [text] is {!Runner.render_report} output — byte-identical to
           what [rap simulate] prints for the same input; [degraded]
-          counts quarantined arrays (0 = clean). *)
+          counts quarantined arrays (0 = clean).  [recovered] marks a
+          report produced through a recovery path — a spool replay
+          after a daemon crash, or an in-flight integrity heal
+          (rollback + repair + re-execution); the text itself is
+          clean either way, the marker travels out-of-band so served
+          reports stay byte-diffable against solo runs. *)
   | Failed of { id : int; error : Sim_error.t }
   | Stats_ok of { json : string }
   | Pong

@@ -137,6 +137,11 @@ let w_error b (e : Sim_error.t) =
       w_u32 b array_id;
       w_u32 b attempts;
       w_str b detail
+  | Sim_error.Integrity_violation { array_id; region; detail } ->
+      w_u8 b 2;
+      w_u32 b array_id;
+      w_str b region;
+      w_str b detail
   | other ->
       w_u8 b 0;
       w_u32 b (Option.value (Sim_error.array_id other) ~default:0);
@@ -155,6 +160,11 @@ let r_error cur : Sim_error.t =
       let attempts = r_u32 cur in
       let detail = r_str cur in
       Sim_error.Array_crashed { array_id; attempts; detail }
+  | 2 ->
+      let array_id = r_u32 cur in
+      let region = r_str cur in
+      let detail = r_str cur in
+      Sim_error.Integrity_violation { array_id; region; detail }
   | tag -> raise (Corrupt (Printf.sprintf "unknown error tag %d" tag))
 
 (* ---- whole-checkpoint codec ---- *)

@@ -249,6 +249,15 @@ type bin_engine = {
   b_stats : events;
 }
 
+(* Bin arenas are private to the engine, so they carry a trailing guard
+   word like the private arenas [Nbva.start] creates — one extra
+   capacity word, armed after the state slice is allocated. *)
+let make_bin_arena sa =
+  let a = Arena.create ~capacity:(Shift_and.state_words sa + 1) in
+  let st = Shift_and.start_in a sa in
+  Arena.guard a;
+  (a, st)
+
 let make_bin_engine (bin : Binning.bin) =
   let lines = List.map (fun (_, l) -> l.Program.labels) bin.Binning.members in
   let sa = Shift_and.of_bin lines in
@@ -281,12 +290,12 @@ let make_bin_engine (bin : Binning.bin) =
     if bit_tile.(bit + 1) = bit_tile.(bit) + 1 && not pattern_last.(bit) then
       Bitvec.set ring_mask bit
   done;
-  let b_arena = Arena.create ~capacity:(Shift_and.state_words sa) in
+  let b_arena, sa_st = make_bin_arena sa in
   {
     bin;
     sa;
     b_arena;
-    sa_st = Shift_and.start_in b_arena sa;
+    sa_st;
     bit_tile;
     b_tile_masks = tile_masks;
     ring_mask;
@@ -421,14 +430,8 @@ let clone_fresh = function
           nb_stats = stats_create (Array.length e.nb_stats.active);
         }
   | E_bin e ->
-      let b_arena = Arena.create ~capacity:(Shift_and.state_words e.sa) in
-      E_bin
-        {
-          e with
-          b_arena;
-          sa_st = Shift_and.start_in b_arena e.sa;
-          b_stats = stats_create e.bin.Binning.tiles;
-        }
+      let b_arena, sa_st = make_bin_arena e.sa in
+      E_bin { e with b_arena; sa_st; b_stats = stats_create e.bin.Binning.tiles }
 
 type multi =
   | Mu_nfa of { m_exec : Nbva.t; m_engs : nfa_engine array; m_sts : Nbva.run_state array; m_hits : bool array }
@@ -633,3 +636,92 @@ let flip_state_bit t i =
   | E_bin e ->
       let v = Shift_and.state_vector e.sa_st in
       if Bitvec.get v i then Bitvec.reset v i else Bitvec.set v i
+
+(* ------------------------------------------------------------------ *)
+(* Integrity surface: the immutable compiled regions the kernels read
+   (CRC-sealable and repairable), a reference-kernel state advance for
+   the shadow-stepping sentinel, and semantic state comparison.
+
+   The shadow step uses [Nbva.step_reference], which probes the
+   automaton's [preds]/[initial]/[stes] records and never touches the
+   flat plan tables below — so a live-vs-shadow divergence implicates
+   either corrupted run state inside the replay window or a corrupted
+   plan table, both of which the caller heals by rollback + repair.
+   LNFA bins have no second kernel (the Shift-And step *is* the
+   reference), so their table corruption is caught by the CRC sweep
+   alone; state corruption is still caught by replay-from-clean-state. *)
+
+type region =
+  | R_words of string * int array
+  | R_bytes of string * Bytes.t
+  | R_vecs of string * Bitvec.t array
+
+let region_name = function
+  | R_words (n, _) | R_bytes (n, _) | R_vecs (n, _) -> n
+
+let nbva_regions nbva =
+  List.map (fun (n, a) -> R_words (n, a)) (Nbva.plan_tables nbva)
+  @ List.map (fun (n, b) -> R_bytes (n, b)) (Nbva.plan_bytes nbva)
+
+let immutable_regions = function
+  | E_nfa e -> nbva_regions e.exec
+  | E_nbva e -> nbva_regions e.nu.Program.nbva
+  | E_bin e -> List.map (fun (n, vs) -> R_vecs (n, vs)) (Shift_and.tables e.sa)
+
+let step_shadow t c =
+  match t with
+  | E_nfa e -> ignore (Nbva.step_reference e.exec e.exec_st c)
+  | E_nbva e -> ignore (Nbva.step_reference e.nu.Program.nbva e.nb_st c)
+  | E_bin e -> ignore (Shift_and.step e.sa e.sa_st c)
+
+(* Rolling digest of the semantic inter-symbol state — the same vectors
+   [state_equal] compares, folded word by word through an FNV-style mix.
+   The sentinel accumulates this after every symbol of its window on both
+   the live and the shadow side: corruption that has washed out of the
+   state by the window end (a flipped bounded-repetition bit expires in a
+   few symbols) still perturbed some intermediate state, so the digests
+   diverge even though the end states agree. *)
+let digest_mix acc w =
+  let h = (acc lxor w) * 0x100000001b3 in
+  h lxor (h lsr 31)
+
+let digest_vec acc v =
+  let n = Bitvec.words_for (Bitvec.width v) in
+  let acc = ref (digest_mix acc n) in
+  for i = 0 to n - 1 do
+    acc := digest_mix !acc (Bitvec.get_word v i)
+  done;
+  !acc
+
+let nbva_state_digest st acc =
+  let acc = digest_vec acc (Nbva.outputs st) in
+  Array.fold_left
+    (fun acc v -> match v with None -> digest_mix acc (-1) | Some v -> digest_vec acc v)
+    acc (Nbva.vectors st)
+
+let state_digest t acc =
+  match t with
+  | E_nfa e -> nbva_state_digest e.exec_st acc
+  | E_nbva e -> nbva_state_digest e.nb_st acc
+  | E_bin e -> digest_vec acc (Shift_and.state_vector e.sa_st)
+
+let nbva_state_equal a b =
+  Bitvec.equal (Nbva.outputs a) (Nbva.outputs b)
+  && Array.for_all2
+       (fun v w ->
+         match (v, w) with
+         | Some v, Some w -> Bitvec.equal v w
+         | None, None -> true
+         | Some _, None | None, Some _ -> false)
+       (Nbva.vectors a) (Nbva.vectors b)
+
+let state_equal a b =
+  match (a, b) with
+  | E_nfa x, E_nfa y -> nbva_state_equal x.exec_st y.exec_st
+  | E_nbva x, E_nbva y -> nbva_state_equal x.nb_st y.nb_st
+  | E_bin x, E_bin y ->
+      Bitvec.equal (Shift_and.state_vector x.sa_st) (Shift_and.state_vector y.sa_st)
+  | _ -> false
+
+let guards_ok t = Arena.guards_ok (run_arena t)
+let rearm_guards t = Arena.rearm_guards (run_arena t)

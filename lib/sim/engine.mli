@@ -184,3 +184,58 @@ val snapshot_flat : t -> int array
 val restore_flat : t -> int array -> unit
 (** Inverse of {!snapshot_flat}.  Raises [Invalid_argument] on a length
     mismatch (snapshot from a different placement). *)
+
+(** {1 Integrity surface}
+
+    The pieces the {!Integrity} layer needs: the immutable compiled
+    regions the kernels read between symbols (sealable with CRC-32 and
+    repairable from pristine copies), a reference-kernel state advance
+    for the shadow-stepping sentinel, and semantic state comparison.
+
+    NFA/NBVA shadow stepping goes through [Nbva.step_reference], which
+    reads the automaton's predecessor records instead of the flat plan
+    tables — a divergence between the live kernel and a shadow replay
+    from clean state therefore also catches plan-table corruption, not
+    just state flips.  LNFA bins share one kernel, so their tables are
+    covered by the CRC sweep only. *)
+
+type region =
+  | R_words of string * int array  (** A live flat int table. *)
+  | R_bytes of string * Bytes.t  (** A live byte table. *)
+  | R_vecs of string * Bitvec.t array  (** Live mask vectors. *)
+
+val region_name : region -> string
+
+val immutable_regions : t -> region list
+(** The compiled tables this engine's kernel reads, as live references —
+    shared physically by every {!clone_fresh} clone, so one seal covers
+    all streams of a placement. *)
+
+val step_shadow : t -> char -> unit
+(** Advance the automaton state through the {e reference} kernel
+    (scalar [Nbva.step_reference] for NFA/NBVA engines; the Shift-And
+    step for bins, which has no second kernel).  Semantically identical
+    to {!step_kernel} on uncorrupted tables. *)
+
+val state_digest : t -> int -> int
+(** [state_digest t acc] folds the engine's semantic inter-symbol state
+    (the same vectors {!state_equal} compares) into the rolling digest
+    [acc].  The sentinel accumulates this after {e every} symbol of its
+    window on both the live and the shadow side: transient corruption
+    whose state trace has expired before the window-end {!state_equal}
+    (e.g. a flipped bounded-repetition counter bit) still perturbed
+    intermediate states — and with them the match events and activity
+    statistics already folded into the report — so the per-symbol
+    digests diverge even when the end states agree. *)
+
+val state_equal : t -> t -> bool
+(** Compare two engines' semantic inter-symbol state (active vector plus
+    materialized BV vectors) — scratch words are ignored, because the
+    reference kernel does not write the bit-parallel kernel's scratch. *)
+
+val guards_ok : t -> bool
+(** [Arena.guards_ok] of the engine's run-state arena. *)
+
+val rearm_guards : t -> unit
+(** Re-arm the arena's guard canaries after a repair that did not go
+    through a flat-snapshot restore (which carries them implicitly). *)

@@ -217,6 +217,275 @@ let campaign ~arch ~params ~config regexes ~input =
       }
   end
 
+(* ---- runtime chaos campaign ----
+
+   Where [campaign] above models the paper's fault classes (permanent
+   defects consumed by the mapper, per-cycle transient state flips), the
+   chaos campaign attacks the {e runtime} itself and measures whether
+   the integrity layer holds the line: one seeded bit flip per trial,
+   landed either in an engine's stored run state or in the immutable
+   compiled tables, against a run with wall-to-wall integrity checking.
+   Every trial is classified from the outside — by byte-comparing the
+   rendered report against the fault-free baseline — so the harness
+   cannot be fooled by the layer it is testing. *)
+
+type chaos_target = C_state | C_table
+
+let chaos_target_name = function C_state -> "state" | C_table -> "table"
+
+type chaos_config = {
+  c_seed : int;
+  c_trials : int;
+  c_chunk : int;  (** Stream chunk size: the rollback/re-execution grain. *)
+  c_table_share : float;  (** Fraction of trials that target compiled tables. *)
+}
+
+let default_chaos_config = { c_seed = 1; c_trials = 60; c_chunk = 1024; c_table_share = 0.4 }
+
+let flip_region_bit rng region =
+  match region with
+  | Engine.R_words (_, a) when Array.length a > 0 ->
+      let i = rand_int rng (Array.length a) in
+      (* low 62 bits only: OCaml ints carry 63, and no kernel reads the
+         sign bit of a mask word *)
+      a.(i) <- a.(i) lxor (1 lsl rand_int rng 62);
+      true
+  | Engine.R_bytes (_, b) when Bytes.length b > 0 ->
+      let i = rand_int rng (Bytes.length b) in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl rand_int rng 8)));
+      true
+  | Engine.R_vecs (_, vs) when Array.length vs > 0 -> (
+      let v = vs.(rand_int rng (Array.length vs)) in
+      match Bitvec.width v with
+      | 0 -> false
+      | w ->
+          let i = rand_int rng w in
+          if Bitvec.get v i then Bitvec.reset v i else Bitvec.set v i;
+          true)
+  | _ -> false
+
+type chaos_trial = {
+  c_index : int;
+  c_target : chaos_target;
+  c_inject_sym : int;  (** Symbol the flip landed at; [-1] if it never fired. *)
+  c_detect_sym : int;  (** Symbol of detection; [-1] undetected. *)
+  c_heals : int;
+  c_quarantined : bool;
+  c_recovered : bool;  (** Detected and the report is byte-identical to baseline. *)
+  c_degraded_typed : bool;  (** A typed [Integrity_violation] reached the report. *)
+  c_silent_wrong : bool;  (** Undetected AND the report differs: the failure mode. *)
+  c_wall_s : float;
+}
+
+type chaos_outcome = {
+  co_baseline : Runner.report;
+  co_baseline_wall_s : float;
+  co_trials : chaos_trial list;
+  co_compile_errors : Compile_error.t list;
+}
+
+let chaos_injected o = List.length (List.filter (fun t -> t.c_inject_sym >= 0) o.co_trials)
+let chaos_detected o = List.length (List.filter (fun t -> t.c_detect_sym >= 0) o.co_trials)
+
+let chaos_benign o =
+  List.length
+    (List.filter
+       (fun t -> t.c_inject_sym >= 0 && t.c_detect_sym < 0 && not t.c_silent_wrong)
+       o.co_trials)
+
+let chaos_silent_wrong o = List.length (List.filter (fun t -> t.c_silent_wrong) o.co_trials)
+let chaos_recovered o = List.length (List.filter (fun t -> t.c_recovered) o.co_trials)
+
+let chaos_degraded_typed o =
+  List.length (List.filter (fun t -> t.c_degraded_typed) o.co_trials)
+
+let chaos_heals o = List.fold_left (fun acc t -> acc + t.c_heals) 0 o.co_trials
+let chaos_quarantines o = List.length (List.filter (fun t -> t.c_quarantined) o.co_trials)
+
+(* Detection rate over {e harmful} flips: a benign flip (undetected, yet
+   provably output-identical to the baseline — e.g. killing a state the
+   next symbol would have killed anyway) threatens nothing, so it is
+   excluded from the denominator rather than counted as a miss. *)
+let chaos_detection_rate o =
+  let harmful = chaos_detected o + chaos_silent_wrong o in
+  if harmful = 0 then 1. else float_of_int (chaos_detected o) /. float_of_int harmful
+
+let chaos_detection_ok o = chaos_silent_wrong o = 0 && chaos_detection_rate o >= 0.99
+
+(* Every detected fault must end recovered-bit-identical or typed-
+   degraded; a detected fault with a silently different report would
+   mean the heal machinery itself corrupted the run. *)
+let chaos_recovery_ok o =
+  chaos_silent_wrong o = 0
+  && List.for_all
+       (fun t -> t.c_detect_sym < 0 || t.c_recovered || t.c_degraded_typed)
+       o.co_trials
+
+let chaos_mttd_syms o =
+  match List.filter (fun t -> t.c_detect_sym >= 0 && t.c_inject_sym >= 0) o.co_trials with
+  | [] -> 0.
+  | ts ->
+      List.fold_left (fun acc t -> acc +. float_of_int (t.c_detect_sym - t.c_inject_sym)) 0. ts
+      /. float_of_int (List.length ts)
+
+let chaos_mttr_s o =
+  match List.filter (fun t -> t.c_heals > 0) o.co_trials with
+  | [] -> 0.
+  | ts ->
+      List.fold_left (fun acc t -> acc +. max 0. (t.c_wall_s -. o.co_baseline_wall_s)) 0. ts
+      /. float_of_int (List.length ts)
+
+let chaos ~arch ~params ~config regexes ~input =
+  let compiled, compile_errors = Runner.compile_for arch ~params regexes in
+  if compiled = [] then Error "no regex compiled"
+  else if String.length input = 0 then Error "empty input"
+  else begin
+    let placement = Runner.place arch ~params compiled in
+    let chars = String.length input in
+    let num_arrays = Array.length placement.Mapper.arrays in
+    (* Campaign-wide pristine seal over the shared compiled tables: every
+       run of this placement reads the same physical table arrays, so an
+       unconditional repair after each trial guarantees the next trial
+       (and the baseline comparison) starts from clean tables even if a
+       trial's own healing was exhausted. *)
+    let probe = Array.map (fun tiles -> Exec.build placement tiles) placement.Mapper.arrays in
+    let camp_cfg = Integrity.continuous_config () in
+    let camp_seals = Array.map (fun ex -> Integrity.seal (Exec.engines ex)) probe in
+    let run_once ?integrity ?sinks () =
+      let stream = Input_stream.of_string ~chunk:(max 1 config.c_chunk) input in
+      Runner.run_stream ?sinks ?integrity arch ~params placement ~stream
+    in
+    let t0 = Unix.gettimeofday () in
+    let baseline = run_once () in
+    let baseline_wall = Unix.gettimeofday () -. t0 in
+    let baseline_text = Runner.render_report baseline in
+    let run_trial i =
+      let rng = make_rng (trial_seed config.c_seed i) in
+      (* Warm the generator: trial seeds are structured (xor of scaled
+         indices), and splitmix64's first outputs from such seeds are
+         visibly correlated — biased enough to skew the target draw.
+         Two discarded draws decorrelate them; [campaign]'s streams are
+         untouched. *)
+      ignore (rand_float rng);
+      ignore (rand_float rng);
+      let target = if rand_float rng < config.c_table_share then C_table else C_state in
+      let inject_sym = rand_int rng chars in
+      let victim = rand_int rng (max 1 num_arrays) in
+      let fired = ref (-1) in
+      let sink =
+        {
+          Sink.name = "chaos";
+          make =
+            (fun ~array_id ~chars:_ ->
+              {
+                Sink.on_events = (fun _ -> ());
+                on_state =
+                  Some
+                    (fun ~sym engines ->
+                      (* one-shot: a heal re-executes the chunk without
+                         the flip, so recovery can be bit-identical *)
+                      if array_id = victim && !fired < 0 && sym >= inject_sym then begin
+                        let ok =
+                          match target with
+                          | C_state -> (
+                              let cands =
+                                Array.to_list engines
+                                |> List.filter (fun e -> Engine.state_bits e > 0)
+                              in
+                              match cands with
+                              | [] -> false
+                              | l ->
+                                  let e = List.nth l (rand_int rng (List.length l)) in
+                                  Engine.flip_state_bit e
+                                    (rand_int rng (Engine.state_bits e));
+                                  true)
+                          | C_table -> (
+                              match
+                                Array.to_list engines
+                                |> List.concat_map Engine.immutable_regions
+                              with
+                              | [] -> false
+                              | regs ->
+                                  let n = List.length regs in
+                                  let rec attempt k =
+                                    k > 0
+                                    && (flip_region_bit rng (List.nth regs (rand_int rng n))
+                                       || attempt (k - 1))
+                                  in
+                                  attempt 8)
+                        in
+                        if ok then fired := sym
+                      end);
+                on_close = (fun ~cycles:_ -> ());
+              });
+        }
+      in
+      let cfg = Integrity.continuous_config () in
+      let t1 = Unix.gettimeofday () in
+      let r = run_once ~integrity:cfg ~sinks:[ sink ] () in
+      let wall = Unix.gettimeofday () -. t1 in
+      Array.iteri
+        (fun a ex -> Integrity.repair camp_cfg camp_seals.(a) (Exec.engines ex))
+        probe;
+      let st = cfg.Integrity.stats in
+      let detected = Integrity.detections st > 0 in
+      let identical = String.equal (Runner.render_report r) baseline_text in
+      let degraded_typed =
+        List.exists
+          (function Sim_error.Integrity_violation _ -> true | _ -> false)
+          r.Runner.degraded
+      in
+      {
+        c_index = i;
+        c_target = target;
+        c_inject_sym = !fired;
+        c_detect_sym = st.Integrity.last_detect_sym;
+        c_heals = st.Integrity.heals;
+        c_quarantined = st.Integrity.quarantines > 0;
+        c_recovered = detected && identical && r.Runner.degraded = [];
+        c_degraded_typed = degraded_typed;
+        c_silent_wrong = !fired >= 0 && (not detected) && not identical;
+        c_wall_s = wall;
+      }
+    in
+    let trials = List.init (max 0 config.c_trials) run_trial in
+    Ok
+      {
+        co_baseline = baseline;
+        co_baseline_wall_s = baseline_wall;
+        co_trials = trials;
+        co_compile_errors = compile_errors;
+      }
+  end
+
+let pp_chaos_trial fmt t =
+  Format.fprintf fmt "trial %3d: %-5s inject@%-7d %s%s"
+    t.c_index (chaos_target_name t.c_target) t.c_inject_sym
+    (if t.c_detect_sym >= 0 then
+       Printf.sprintf "detect@%d (+%d syms)" t.c_detect_sym (t.c_detect_sym - t.c_inject_sym)
+     else if t.c_inject_sym < 0 then "no-fire"
+     else if t.c_silent_wrong then "SILENT-WRONG"
+     else "benign")
+    (if t.c_recovered then
+       Printf.sprintf " -> recovered (%d heal%s)" t.c_heals (if t.c_heals = 1 then "" else "s")
+     else if t.c_quarantined then " -> quarantined (typed degraded)"
+     else "")
+
+let pp_chaos_outcome fmt o =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun t -> Format.fprintf fmt "%a@," pp_chaos_trial t) o.co_trials;
+  Format.fprintf fmt
+    "chaos: %d trials (%d injected) | detected %d benign %d silent-wrong %d | detection %.1f%% \
+     | recovered %d typed-degraded %d | heals %d quarantines %d | MTTD %.1f syms MTTR %.1f ms \
+     | gates: detection_ok=%b recovery_ok=%b@]"
+    (List.length o.co_trials) (chaos_injected o) (chaos_detected o) (chaos_benign o)
+    (chaos_silent_wrong o)
+    (100. *. chaos_detection_rate o)
+    (chaos_recovered o) (chaos_degraded_typed o) (chaos_heals o) (chaos_quarantines o)
+    (chaos_mttd_syms o)
+    (1000. *. chaos_mttr_s o)
+    (chaos_detection_ok o) (chaos_recovery_ok o)
+
 let pp_trial fmt t =
   Format.fprintf fmt "trial %2d: %6d flips, %4d missed, %4d false, %6d reports, %7d cycles, %.3f Gch/s"
     t.t_index t.t_flips t.t_missed t.t_false t.t_reports t.t_cycles t.t_throughput_gchs

@@ -107,3 +107,104 @@ val campaign :
 val pp_trial : Format.formatter -> trial -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
 (** The degradation table: per-trial rows plus the summary line. *)
+
+(** {1 Runtime chaos campaign}
+
+    Attacks the {e runtime} rather than the modelled hardware: one
+    seeded bit flip per trial — into an engine's stored run state
+    ({!Engine.flip_state_bit}) or into the immutable compiled tables
+    ({!Engine.immutable_regions}) — against a run armed with
+    wall-to-wall integrity checking
+    ({!Integrity.continuous_config}).  Trials are classified from the
+    outside, by byte-comparing the rendered report against the
+    fault-free baseline, so the harness cannot be fooled by the layer
+    under test:
+
+    - {e recovered}: detected, healed, report byte-identical;
+    - {e typed-degraded}: detected, healing exhausted, a typed
+      [Integrity_violation] in [report.degraded];
+    - {e benign}: undetected but provably harmless (report identical —
+      e.g. the flip killed a state the next symbol would have killed);
+    - {e silent-wrong}: undetected and the report differs.  The failure
+      mode the layer exists to prevent; both gates require zero. *)
+
+type chaos_target = C_state | C_table
+
+val chaos_target_name : chaos_target -> string
+
+type chaos_config = {
+  c_seed : int;
+  c_trials : int;
+  c_chunk : int;  (** Stream chunk size — the rollback/re-execution grain. *)
+  c_table_share : float;  (** Fraction of trials that target compiled tables. *)
+}
+
+val default_chaos_config : chaos_config
+(** seed 1, 60 trials, 1 KiB chunks, 40% table flips. *)
+
+val flip_region_bit : rng -> Engine.region -> bool
+(** Flip one uniformly chosen bit of a live compiled region; [false] when
+    the region is empty.  Exposed for tests. *)
+
+type chaos_trial = {
+  c_index : int;
+  c_target : chaos_target;
+  c_inject_sym : int;  (** Symbol the flip landed at; [-1] if it never fired. *)
+  c_detect_sym : int;  (** Symbol of detection; [-1] undetected. *)
+  c_heals : int;
+  c_quarantined : bool;
+  c_recovered : bool;
+  c_degraded_typed : bool;
+  c_silent_wrong : bool;
+  c_wall_s : float;
+}
+
+type chaos_outcome = {
+  co_baseline : Runner.report;
+  co_baseline_wall_s : float;
+  co_trials : chaos_trial list;
+  co_compile_errors : Compile_error.t list;
+}
+
+val chaos :
+  arch:Arch.t ->
+  params:Program.params ->
+  config:chaos_config ->
+  (string * Ast.t) list ->
+  input:string ->
+  (chaos_outcome, string) result
+(** Compile and place once, run the fault-free baseline, then
+    [config.c_trials] seeded single-flip trials with integrity armed.
+    The shared compiled tables are re-verified and repaired from a
+    campaign-wide pristine seal after every trial, so trials are
+    independent.  Deterministic in [c_seed]. *)
+
+val chaos_injected : chaos_outcome -> int
+val chaos_detected : chaos_outcome -> int
+val chaos_benign : chaos_outcome -> int
+val chaos_silent_wrong : chaos_outcome -> int
+val chaos_recovered : chaos_outcome -> int
+val chaos_degraded_typed : chaos_outcome -> int
+val chaos_heals : chaos_outcome -> int
+val chaos_quarantines : chaos_outcome -> int
+
+val chaos_detection_rate : chaos_outcome -> float
+(** Detected / (detected + silent-wrong): the rate over {e harmful}
+    flips; benign flips threaten nothing and are excluded. *)
+
+val chaos_mttd_syms : chaos_outcome -> float
+(** Mean symbols from injection to detection, over detected trials. *)
+
+val chaos_mttr_s : chaos_outcome -> float
+(** Mean wall-clock overhead versus the baseline run, over healed
+    trials — the price of rollback plus chunk re-execution. *)
+
+val chaos_detection_ok : chaos_outcome -> bool
+(** Zero silent-wrong trials and detection rate >= 99%. *)
+
+val chaos_recovery_ok : chaos_outcome -> bool
+(** Zero silent-wrong trials and every detected fault either recovered
+    bit-identically or surfaced a typed degraded error. *)
+
+val pp_chaos_trial : Format.formatter -> chaos_trial -> unit
+val pp_chaos_outcome : Format.formatter -> chaos_outcome -> unit

@@ -317,8 +317,8 @@ let sub_split chunk k =
   let q = len / k and r = len mod k in
   Array.init k (fun i -> String.sub chunk ((i * q) + min i r) (q + if i < r then 1 else 0))
 
-let run_stream ?(jobs = 1) ?(intra_jobs = 1) ?(sinks = []) ?policy ?checkpoint ?(resume = false)
-    (arch : Arch.t) ~params (p : Mapper.placement) ~stream =
+let run_stream ?(jobs = 1) ?(intra_jobs = 1) ?(sinks = []) ?policy ?integrity ?checkpoint
+    ?(resume = false) (arch : Arch.t) ~params (p : Mapper.placement) ~stream =
   ignore params;
   (* Chunk composition costs roughly one extra kernel pass over the
      input; with a single domain there is nothing to overlap it with, so
@@ -345,6 +345,23 @@ let run_stream ?(jobs = 1) ?(intra_jobs = 1) ?(sinks = []) ?policy ?checkpoint ?
   let quarantined : Sim_error.t option array = Array.make num_arrays None in
   let degraded = ref [] (* newest first; reversed wherever exposed *) in
   let fp = fingerprint p in
+  (* Integrity layer: CRC-seal every array's immutable tables up front
+     (pristine copies double as the repair source), keep one shadow clone
+     per array for the sentinel's reference replay, and track per-array
+     next-due symbols for both detectors.  Workers only ever touch their
+     own array's slot, so the due arrays need no locking. *)
+  let seals =
+    match integrity with
+    | None -> [||]
+    | Some _ -> Array.map (fun ex -> Integrity.seal (Exec.engines ex)) execs
+  in
+  let shadows =
+    match integrity with
+    | Some cfg when cfg.Integrity.sentinel_every > 0 -> Array.map Exec.clone_fresh execs
+    | _ -> [||]
+  in
+  let sweep_due = Array.make num_arrays 0 in
+  let sent_due = Array.make num_arrays 0 in
   (match checkpoint with
   | Some { Checkpoint.dir; _ } when resume -> (
       match Checkpoint.load ~dir with
@@ -399,10 +416,26 @@ let run_stream ?(jobs = 1) ?(intra_jobs = 1) ?(sinks = []) ?policy ?checkpoint ?
            reports := !reports + ev.Exec.reports;
            List.iter (fun (i : Sink.t) -> i.Sink.on_events ev) il)
      else
+       let len = String.length chunk in
+       (* sentinel window state, local to this attempt: [win_start < 0]
+          means no window is open.  The due symbol only advances after a
+          window {e passes}, so a heal retry re-verifies the same span. *)
+       let win_start = ref (-1) and pre = ref [||] and win_digest = ref 0 in
        String.iteri
          (fun off c ->
            if off land (deadline_stride - 1) = 0 then Scheduler.check_deadline deadline;
            let sym = base + off in
+           (match integrity with
+           | Some cfg
+             when cfg.Integrity.sentinel_every > 0
+                  && !win_start < 0
+                  && sym >= sent_due.(array_id) ->
+               (* capture before stepping: the window replay starts from
+                  the state this symbol will be applied to *)
+               pre := Exec.snapshot_flat ex;
+               win_start := off;
+               win_digest := 0
+           | _ -> ());
            let ev = Exec.step arch ex ~sym c in
            cycles := !cycles + 1 + ev.Exec.stall;
            reports := !reports + ev.Exec.reports;
@@ -410,43 +443,131 @@ let run_stream ?(jobs = 1) ?(intra_jobs = 1) ?(sinks = []) ?policy ?checkpoint ?
            (* fault-injection surface: runs after this symbol's events are
               banked, so corruption lands in the stored state and is first
               seen at the next symbol *)
-           List.iter (fun f -> f ~sym (Exec.engines ex)) sl)
+           List.iter (fun f -> f ~sym (Exec.engines ex)) sl;
+           (* fold the post-symbol state into the window digest after the
+              sinks, so corruption landing at this very symbol is already
+              visible to the window-end comparison *)
+           if !win_start >= 0 then
+             win_digest :=
+               Array.fold_left
+                 (fun acc e -> Engine.state_digest e acc)
+                 !win_digest (Exec.engines ex);
+           match integrity with
+           | Some cfg
+             when !win_start >= 0
+                  && (off - !win_start + 1 >= cfg.Integrity.sentinel_window || off = len - 1)
+             ->
+               (* windows never span a chunk boundary: a rollback restores
+                  chunk-start state, so a cross-chunk window could not be
+                  re-verified after a heal *)
+               Integrity.sentinel_replay cfg ~array_id ~sym ~shadow:shadows.(array_id)
+                 ~live:ex ~pre:!pre ~chunk ~start:!win_start
+                 ~len:(off - !win_start + 1)
+                 ~live_digest:!win_digest;
+               sent_due.(array_id) <- base + !win_start + cfg.Integrity.sentinel_every;
+               win_start := -1
+           | _ -> ())
          chunk);
+    (* CRC/guard sweep at the chunk boundary, before the slots publish:
+       a trip here aborts the attempt with slots untouched, so the heal
+       wrapper can roll back and re-execute the chunk. *)
+    (match integrity with
+    | Some cfg
+      when cfg.Integrity.sweep_every > 0
+           && base + String.length chunk >= sweep_due.(array_id) ->
+        Integrity.check cfg ~array_id
+          ~sym:(base + String.length chunk - 1)
+          seals.(array_id) (Exec.engines ex);
+        (* only after a clean pass, so retries re-sweep *)
+        sweep_due.(array_id) <- base + String.length chunk + cfg.Integrity.sweep_every
+    | _ -> ());
     cycles_slots.(array_id) <- !cycles;
     reports_slots.(array_id) <- !reports
   in
   let run_chunk ~base chunk =
-    match policy with
+    (* chunk-start snapshots: needed by the supervision policy's retries
+       AND by the integrity layer's heal re-execution, so they are taken
+       whenever either is active *)
+    let rollbacks =
+      if policy = None && integrity = None then [||]
+      else
+        Array.init num_arrays (fun i ->
+            if quarantined.(i) <> None then None
+            else
+              Some
+                {
+                  rb_engines = Exec.snapshot_flat execs.(i);
+                  rb_energy = ledger_values ledgers.(i);
+                  rb_mode = Array.copy mode_slots.(i);
+                })
+    in
+    let restore_rollback i =
+      if Array.length rollbacks > 0 then
+        match rollbacks.(i) with
+        | None -> ()
+        | Some rb ->
+            Exec.restore_flat execs.(i) rb.rb_engines;
+            ledger_restore ledgers.(i) rb.rb_energy;
+            Array.blit rb.rb_mode 0 mode_slots.(i) 0 (Array.length rb.rb_mode)
+    in
+    (* Integrity heal: a violation raised inside the attempt (sweep,
+       sentinel, or checkpoint-path check) is caught HERE, before the
+       supervision policy can fold it into a generic Array_crashed —
+       roll back to the chunk start, repair tables and guards from the
+       pristine seals, and re-execute.  The chunk publishes its slots by
+       assignment at the end, so a retried attempt never double-counts.
+       After [max_repairs] failed heals the typed error lands in [trips]
+       (one writer per slot — no lock) and the array is quarantined at
+       the chunk barrier below. *)
+    let trips : Sim_error.t option array =
+      if integrity = None then [||] else Array.make num_arrays None
+    in
+    let attempt_chunk ~deadline i =
+      match integrity with
+      | None -> process_chunk ~deadline ~base chunk i
+      | Some cfg ->
+          let rec go ~healed n =
+            let heal err =
+              restore_rollback i;
+              Integrity.repair cfg seals.(i) (Exec.engines execs.(i));
+              if n >= cfg.Integrity.max_repairs then begin
+                Integrity.note_quarantine cfg.Integrity.stats;
+                trips.(i) <- Some err
+              end
+              else go ~healed:true (n + 1)
+            in
+            match process_chunk ~deadline ~base chunk i with
+            | () -> if healed then Integrity.note_heal cfg.Integrity.stats
+            | exception Sim_error.Error (Sim_error.Integrity_violation _ as err) -> heal err
+            | exception e -> (
+                (* A corrupted plan table can hold an index, so the kernel
+                   may crash out of bounds before any sweep fires.  Check
+                   the seals: if they trip, this crash IS the detection —
+                   heal it.  Clean seals mean a genuine bug: re-raise. *)
+                match
+                  Integrity.check cfg ~array_id:i
+                    ~sym:(base + String.length chunk - 1)
+                    seals.(i)
+                    (Exec.engines execs.(i))
+                with
+                | () -> raise e
+                | exception Sim_error.Error (Sim_error.Integrity_violation _ as err) ->
+                    heal err)
+          in
+          go ~healed:false 0
+    in
+    (match policy with
     | None ->
         Scheduler.parallel_for ~work_per_index:(String.length chunk) ~jobs num_arrays (fun i ->
-            if quarantined.(i) = None then
-              process_chunk ~deadline:Scheduler.no_deadline ~base chunk i)
+            if quarantined.(i) = None then attempt_chunk ~deadline:Scheduler.no_deadline i)
     | Some policy ->
-        let rollbacks =
-          Array.init num_arrays (fun i ->
-              if quarantined.(i) <> None then None
-              else
-                Some
-                  {
-                    rb_engines = Exec.snapshot_flat execs.(i);
-                    rb_energy = ledger_values ledgers.(i);
-                    rb_mode = Array.copy mode_slots.(i);
-                  })
-        in
-        let restore_rollback i =
-          match rollbacks.(i) with
-          | None -> ()
-          | Some rb ->
-              Exec.restore_flat execs.(i) rb.rb_engines;
-              ledger_restore ledgers.(i) rb.rb_energy;
-              Array.blit rb.rb_mode 0 mode_slots.(i) 0 (Array.length rb.rb_mode)
-        in
         let outcomes =
           Scheduler.supervised_for ~work_per_index:(String.length chunk) ~jobs ~policy
             num_arrays (fun ~deadline ~attempt i ->
-              if quarantined.(i) = None then begin
+              if quarantined.(i) = None && (Array.length trips = 0 || trips.(i) = None)
+              then begin
                 if attempt > 1 then restore_rollback i;
-                process_chunk ~deadline ~base chunk i
+                attempt_chunk ~deadline i
               end)
         in
         Array.iteri
@@ -459,11 +580,56 @@ let run_stream ?(jobs = 1) ?(intra_jobs = 1) ?(sinks = []) ?policy ?checkpoint ?
                 restore_rollback i;
                 quarantined.(i) <- Some err;
                 degraded := err :: !degraded)
-          outcomes
+          outcomes);
+    (* integrity quarantines, folded single-threaded after the barrier
+       (the heal wrapper already rolled the array back) *)
+    Array.iteri
+      (fun i trip ->
+        match trip with
+        | None -> ()
+        | Some err ->
+            if quarantined.(i) = None then begin
+              quarantined.(i) <- Some err;
+              degraded := err :: !degraded
+            end)
+      trips
+  in
+  (* A checkpoint must never persist corruption: re-verify every live
+     array's seals and guards (and that the placement fingerprint still
+     digests to what we sealed) immediately before the write.  On a trip
+     the write is skipped — the previous checkpoint stays the durable
+     recovery point — tables are repaired, and the journal records why;
+     the next chunk's sweep/sentinel then heals the state itself. *)
+  let verify_for_ckpt ~dir symbols =
+    match integrity with
+    | None -> true
+    | Some cfg -> (
+        try
+          Array.iteri
+            (fun i ex ->
+              if quarantined.(i) = None then
+                Integrity.check cfg ~array_id:i ~sym:(max 0 (symbols - 1)) seals.(i)
+                  (Exec.engines ex))
+            execs;
+          fingerprint p = fp
+          ||
+          (Checkpoint.journal ~dir
+             (Printf.sprintf
+                "integrity checkpoint-skip symbols=%d placement fingerprint drifted" symbols);
+           false)
+        with Sim_error.Error (Sim_error.Integrity_violation _ as err) ->
+          Array.iteri
+            (fun i _ -> Integrity.repair cfg seals.(i) (Exec.engines execs.(i)))
+            execs;
+          Checkpoint.journal ~dir
+            (Printf.sprintf "integrity checkpoint-skip symbols=%d %s" symbols
+               (Sim_error.message err));
+          false)
   in
   let save_ckpt symbols =
     match checkpoint with
     | None -> ()
+    | Some { Checkpoint.dir; _ } when not (verify_for_ckpt ~dir symbols) -> ()
     | Some { Checkpoint.dir; _ } ->
         let ck_arrays =
           Array.init num_arrays (fun i ->
@@ -515,9 +681,10 @@ let run_stream ?(jobs = 1) ?(intra_jobs = 1) ?(sinks = []) ?policy ?checkpoint ?
 
 (* One chunk spanning the whole string keeps the historical array-major
    symbol order at [jobs = 1], which shared-RNG fault sinks depend on. *)
-let run ?jobs ?intra_jobs ?sinks (arch : Arch.t) ~params (p : Mapper.placement) ~input =
+let run ?jobs ?intra_jobs ?sinks ?integrity (arch : Arch.t) ~params (p : Mapper.placement)
+    ~input =
   let stream = Input_stream.of_string ~chunk:(max 1 (String.length input)) input in
-  run_stream ?jobs ?intra_jobs ?sinks arch ~params p ~stream
+  run_stream ?jobs ?intra_jobs ?sinks ?integrity arch ~params p ~stream
 
 (* Single pass: the stall tracer rides the same event stream as the
    energy accounting, so the engines run exactly once. *)

@@ -134,6 +134,7 @@ val run_stream :
   ?intra_jobs:int ->
   ?sinks:Sink.spec list ->
   ?policy:Scheduler.policy ->
+  ?integrity:Integrity.config ->
   ?checkpoint:Checkpoint.config ->
   ?resume:bool ->
   Arch.t ->
@@ -169,6 +170,22 @@ val run_stream :
     user [sinks] observe at-least-once event delivery under supervision,
     so side-effecting sinks should be idempotent or left unsupervised.
 
+    [integrity] (default off — and then strictly zero-overhead) arms the
+    online integrity layer ({!Integrity}): every array's immutable
+    compiled tables are CRC-sealed at run start, re-verified together
+    with the arena guard words on the sweep cadence and before every
+    checkpoint write, and a sampled window of each array's execution is
+    shadow-replayed through the reference kernel.  A detected violation
+    rolls the array back to the chunk start, repairs the tables from
+    pristine copies, and re-executes the chunk (counted in
+    [stats.heals]); an array still tripping after [max_repairs] heals is
+    quarantined with a typed [Integrity_violation] in [report.degraded]
+    — detected corruption NEVER silently reaches the report.  A
+    checkpoint that fails verification is skipped (journalled), leaving
+    the previous clean checkpoint as the recovery point.  Do not combine
+    with fault-injection sinks unless the injections are meant to be
+    detected and healed (that is exactly what the chaos harness does).
+
     [checkpoint] saves a crash-consistent {!Checkpoint.t} at the first
     chunk barrier after every [every] symbols, plus one at end of input.
     With [resume] (and a checkpoint present) the run restores the saved
@@ -182,6 +199,7 @@ val run :
   ?jobs:int ->
   ?intra_jobs:int ->
   ?sinks:Sink.spec list ->
+  ?integrity:Integrity.config ->
   Arch.t ->
   params:Program.params ->
   Mapper.placement ->

@@ -8,6 +8,7 @@ type t =
   | Stream_failed of { detail : string }
   | Deadline_expired of { waited_s : float; deadline_s : float }
   | Input_too_large of { bytes : int; limit : int }
+  | Integrity_violation of { array_id : int; region : string; detail : string }
 
 exception Error of t
 
@@ -19,9 +20,13 @@ let label = function
   | Stream_failed _ -> "stream-failed"
   | Deadline_expired _ -> "deadline-expired"
   | Input_too_large _ -> "input-too-large"
+  | Integrity_violation _ -> "integrity-violation"
 
 let array_id = function
-  | Array_crashed { array_id; _ } | Array_timeout { array_id; _ } -> Some array_id
+  | Array_crashed { array_id; _ }
+  | Array_timeout { array_id; _ }
+  | Integrity_violation { array_id; _ } ->
+      Some array_id
   | Checkpoint_corrupt _ | Checkpoint_mismatch _ | Stream_failed _ | Deadline_expired _
   | Input_too_large _ ->
       None
@@ -44,6 +49,8 @@ let message = function
       Printf.sprintf
         "input of %d bytes exceeds the %d-byte whole-input limit; use the streaming path"
         bytes limit
+  | Integrity_violation { array_id; region; detail } ->
+      Printf.sprintf "array %d failed an integrity check in %s: %s" array_id region detail
 
 let pp fmt e = Format.fprintf fmt "[%s] %s" (label e) (message e)
 
@@ -102,7 +109,12 @@ let to_wire e =
   | Input_too_large { bytes; limit } ->
       w_u8 b 6;
       w_u32 b bytes;
-      w_u32 b limit);
+      w_u32 b limit
+  | Integrity_violation { array_id; region; detail } ->
+      w_u8 b 7;
+      w_u32 b array_id;
+      w_str b region;
+      w_str b detail);
   Buffer.contents b
 
 exception Bad of string
@@ -158,6 +170,10 @@ let of_wire s =
     | 6 ->
         let bytes = r_u32 () in
         Input_too_large { bytes; limit = r_u32 () }
+    | 7 ->
+        let array_id = r_u32 () in
+        let region = r_str () in
+        Integrity_violation { array_id; region; detail = r_str () }
     | tag -> raise (Bad (Printf.sprintf "unknown error tag %d" tag)))
   with
   | e -> if !at <> String.length s then Result.Error "trailing bytes" else Ok e

@@ -33,6 +33,14 @@ type t =
       (** A whole-input consumer ({!Input_stream.read_all}) refused to
           materialize more than [limit] bytes in memory — stream the
           input in chunks instead. *)
+  | Integrity_violation of { array_id : int; region : string; detail : string }
+      (** A runtime integrity check failed on this array: a CRC seal over
+          an immutable mask table stopped matching ([region] names the
+          sealed region), an arena guard word was overwritten, or the
+          shadow-stepping sentinel diverged from the live kernel.  Raised
+          by {!Integrity} checks inside a supervised chunk so the runner
+          can roll back, repair and re-execute; an array that keeps
+          tripping is quarantined with this as its reason. *)
 
 exception Error of t
 (** The carrier used by streaming/checkpoint code paths; supervised

@@ -142,6 +142,49 @@ let test_store_lookup_roundtrip () =
       check bool "other key misses" true
         (Program_cache.lookup ~dir ~key:(String.map (fun _ -> 'f') key) = Program_cache.Miss))
 
+(* An artifact written by a different OCaml compiler must be [Invalid],
+   decided from the plain version prefix BEFORE Marshal.from_string sees
+   a single payload byte — Marshal images are not cross-version stable
+   and probing one can crash.  The fake artifact carries deliberately
+   non-Marshal bytes where the image would be: if lookup's order ever
+   regresses, this test dies inside Marshal instead of failing an
+   assertion. *)
+let test_version_skew_rejected_before_unmarshal () =
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755;
+      let key = "fedcba9876543210fedcba9876543210" in
+      let payload ver rest =
+        let b = Buffer.create 64 in
+        let n = String.length ver in
+        for i = 0 to 3 do
+          Buffer.add_char b (Char.chr ((n lsr (8 * i)) land 0xFF))
+        done;
+        Buffer.add_string b ver;
+        Buffer.add_string b rest;
+        Buffer.contents b
+      in
+      let save p = Artifact.save ~path:(Program_cache.path ~dir ~key) ~magic:"RAPPROG" ~version:3 p in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      save (payload "9.99.9" "these bytes are not a marshal image");
+      (match Program_cache.lookup ~dir ~key with
+      | Program_cache.Invalid detail ->
+          check bool "detail names the foreign version" true (contains detail "9.99.9")
+      | _ -> fail "foreign-version artifact must be Invalid");
+      (* same version but garbage image: still a clean Invalid *)
+      save (payload Sys.ocaml_version "still not a marshal image");
+      (match Program_cache.lookup ~dir ~key with
+      | Program_cache.Invalid _ -> ()
+      | _ -> fail "garbage image must be Invalid");
+      (* truncated version prefix: shorter than its own length field *)
+      save "\xff\x00\x00\x00v";
+      match Program_cache.lookup ~dir ~key with
+      | Program_cache.Invalid _ -> ()
+      | _ -> fail "truncated prefix must be Invalid")
+
 let test_mask_tables_hash_consed () =
   (* many states share character classes, so the 256-entry label tables
      and successor masks must collapse to a handful of physical rows of
@@ -165,5 +208,7 @@ let suite =
     test_case "corruption rejected then repaired" `Quick test_corruption_rejected;
     test_case "truncation rejected" `Quick test_truncation_rejected;
     test_case "store/lookup round-trip" `Quick test_store_lookup_roundtrip;
+    test_case "compiler-version skew rejected before unmarshal" `Quick
+      test_version_skew_rejected_before_unmarshal;
     test_case "mask tables hash-consed and shared in Marshal" `Quick test_mask_tables_hash_consed;
   ]

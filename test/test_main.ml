@@ -21,6 +21,7 @@ let () =
       ("cache", Test_cache.suite);
       ("stream", Test_stream.suite);
       ("fault", Test_fault.suite);
+      ("integrity", Test_integrity.suite);
       ("workloads", Test_workloads.suite);
       ("api", Test_api.suite);
       ("mnrl", Test_mnrl.suite);

@@ -78,7 +78,8 @@ let test_wire_reply_roundtrip () =
       Wire.Overloaded { depth = 64; capacity = 64; retry_after_s = 0.125 };
       Wire.Quarantined { name = "bad"; faults = 3 };
       Wire.Rejected { reason = "too large" };
-      Wire.Report { id = 7; degraded = 2; text = "report\ntext\n" };
+      Wire.Report { id = 7; degraded = 2; recovered = false; text = "report\ntext\n" };
+      Wire.Report { id = 8; degraded = 0; recovered = true; text = "healed\n" };
       Wire.Failed
         { id = 9; error = Sim_error.Array_timeout { array_id = 1; attempts = 3; deadline_s = 0.1 } };
       Wire.Stats_ok { json = "{}" };
@@ -102,7 +103,8 @@ let prop_wire_truncation_is_error =
     Gen.(pair (0 -- 20) (0 -- 100))
     (fun (id, cut_pct) ->
       let full =
-        Wire.encode_reply (Wire.Report { id; degraded = 1; text = "some report text" })
+        Wire.encode_reply
+          (Wire.Report { id; degraded = 1; recovered = false; text = "some report text" })
       in
       let cut = String.length full * cut_pct / 100 in
       let truncated = String.sub full 0 (min cut (String.length full - 1)) in
