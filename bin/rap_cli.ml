@@ -242,6 +242,16 @@ let resolve_intra_jobs = function
       Printf.eprintf "error: --intra-jobs %d is not a positive worker count\n" n;
       exit 2
 
+let kernel_arg =
+  Arg.(value
+       & opt (enum [ ("bitparallel", Nbva.Bit_parallel); ("reference", Nbva.Reference) ])
+           Nbva.Bit_parallel
+       & info [ "kernel" ] ~docv:"KERNEL"
+           ~doc:"Stepping kernel: $(b,bitparallel) (default) uses the packed-mask fast \
+                 paths including the per-placement word and lazy-DFA specializations; \
+                 $(b,reference) forces the scalar reference stepper everywhere.  Output \
+                 is bit-identical either way — the flag exists for differential testing.")
+
 let integrity_flag =
   Arg.(value & flag
        & info [ "integrity" ]
@@ -362,9 +372,10 @@ let simulate_cmd =
              ~doc:"Read $(b,--file) input through the buffered channel reader instead of the \
                    default read-only memory mapping; results are byte-identical either way.")
   in
-  let run regexes input file arch jobs intra_jobs trace ckpt_dir ckpt_every resume strict
-      deadline retries chunk no_mmap cache integrity sweep_every sentinel_every =
+  let run regexes input file arch jobs intra_jobs kernel trace ckpt_dir ckpt_every resume
+      strict deadline retries chunk no_mmap cache integrity sweep_every sentinel_every =
     if chunk <= 0 then fail_input "--chunk must be positive";
+    Nbva.kernel := kernel;
     let integrity = integrity_config integrity sweep_every sentinel_every in
     let stream = required_stream ~chunk ~mmap:(not no_mmap) ~file input in
     let jobs = resolve_jobs jobs in
@@ -446,9 +457,9 @@ let simulate_cmd =
   let doc = "Run a rule set through the cycle-level hardware simulator." in
   Cmd.v (Cmd.info "simulate" ~doc ~exits:common_exits)
     Term.(const run $ regexes_arg $ pos_input_arg $ file_arg $ arch_arg $ jobs_arg
-          $ intra_jobs_arg $ trace $ ckpt_dir $ ckpt_every $ resume $ strict $ deadline
-          $ retries $ chunk $ no_mmap $ cache_arg $ integrity_flag $ sweep_every_arg
-          $ sentinel_every_arg)
+          $ intra_jobs_arg $ kernel_arg $ trace $ ckpt_dir $ ckpt_every $ resume $ strict
+          $ deadline $ retries $ chunk $ no_mmap $ cache_arg $ integrity_flag
+          $ sweep_every_arg $ sentinel_every_arg)
 
 (* ---- rap batch ---- *)
 

@@ -401,6 +401,26 @@ let step_reference t st c =
   Bitvec.blit ~src:st.next_v ~dst:st.active_v;
   !hit
 
+(* Specialized single-word kernel for automata whose [word_tables] exist
+   (no BV-STEs, <= bits_per_word states): the whole step is scalar word
+   arithmetic on the bare masks — no flat-table indirection, no BV
+   phase, no next/avail scratch traffic (those words are dead between
+   steps and excluded from state digests).  Bit-identical activation
+   words and hit flag to [step]. *)
+let step_word wt st c =
+  let w = Arena.words st.st_arena in
+  let width_mask = (1 lsl wt.wt_n) - 1 in
+  let a = ref (Array.unsafe_get w st.act_off land width_mask) in
+  let av = ref wt.wt_initial in
+  let succ = wt.wt_succ in
+  while !a <> 0 do
+    av := !av lor Array.unsafe_get succ (Bitvec.lsb_index !a);
+    a := !a land (!a - 1)
+  done;
+  let nxt = !av land Array.unsafe_get wt.wt_labels (Char.code c) in
+  Array.unsafe_set w st.act_off nxt;
+  nxt land wt.wt_final <> 0
+
 type kernel = Bit_parallel | Reference
 
 let kernel = ref Bit_parallel
@@ -530,6 +550,7 @@ let bv_active_count t st =
 let active_count _t st = Bitvec.popcount st.active_v
 
 let outputs st = st.active_v
+let active_slice st = (Arena.words st.st_arena, st.act_off)
 let vectors st = st.vectors
 
 let reports t st =

@@ -100,6 +100,15 @@ val step : t -> run_state -> char -> bool
     precomputed byte-match bytes.  The steady-state loop allocates
     nothing. *)
 
+val step_word : word_tables -> run_state -> char -> bool
+(** Specialized single-word kernel for automata whose {!word_tables}
+    exist: the whole step — availability union, label AND, final test —
+    is scalar arithmetic on the bare masks, skipping the flat-table
+    indirection and the BV phase entirely.  Activation words and return
+    value are bit-identical to {!step}; the next/avail scratch words are
+    left untouched (they are dead between steps and excluded from
+    digests and checkpoints). *)
+
 val step_reference : t -> run_state -> char -> bool
 (** The scalar pre-bit-parallel kernel (per-state predecessor probing),
     kept as the differential-testing reference.  Bit-identical to {!step}
@@ -157,6 +166,15 @@ val outputs : run_state -> Bitvec.t
 (** Packed per-STE output activation after the last {!step} (bit [q] is
     STE [q]); the hardware simulator ANDs tile masks against this to
     attribute activity to tiles.  Mutate only for fault injection. *)
+
+val active_slice : run_state -> int array * int
+(** The activation words of {!outputs} as a raw [(arena words, offset)]
+    slice — [words_for (num_states t)] consecutive entries.  For
+    specialized steppers (the lazy DFA) whose per-symbol hot path reads
+    and writes whole packed activation sets and cannot afford the
+    checked {!Bitvec} accessors.  A writer must store only words the
+    kernel itself normalised (no bits at or past the automaton width),
+    or every digest and comparison downstream breaks. *)
 
 val vectors : run_state -> Bitvec.t option array
 (** Per-STE bit vectors ([None] for plain STEs; do not mutate). *)

@@ -11,8 +11,11 @@ let magic = "RAPPROG"
    plain length-prefixed prefix of the payload, so it is checked
    BEFORE Marshal touches any bytes — Marshal is not cross-version
    stable, and probing a foreign-version artifact with it risks a
-   crash rather than a clean [Invalid]. *)
-let version = 3
+   crash rather than a clean [Invalid].
+   v4: [Program.compiled] grew the [hint] execution-strategy field and
+   [Program.params] grew the DFA budgets ([dfa_state_budget],
+   [dfa_cache_states]). *)
+let version = 4
 
 type entry = {
   e_key : string;

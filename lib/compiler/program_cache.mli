@@ -26,6 +26,11 @@
     Lives in the compiler library, below the simulator: callers that key
     on an architecture pass an opaque [arch_tag] digest. *)
 
+val version : int
+(** Envelope format version; bumped whenever any type reachable from the
+    marshalled entry changes layout.  Tests that forge artifacts use it
+    to stamp envelopes that pass the envelope check. *)
+
 val key : arch_tag:string -> params_tag:string -> sources:string list -> string
 (** Cache key: hex digest over the architecture tag, the compile-params
     tag and the regex sources (order-sensitive — placements are). *)

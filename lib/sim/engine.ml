@@ -32,6 +32,51 @@ let stats_reset s =
   s.reports <- 0
 
 (* ------------------------------------------------------------------ *)
+(* Per-placement stepper specialization.  Each NBVA-backed engine picks,
+   at construction, the cheapest kernel that is bit-identical on its
+   automaton:
+   - [S_dfa]: lazy-DFA transition cache (compiler hint [H_dfa]; only for
+     automata with no BV-STEs) — the cached path is one table load plus
+     an activation-word blit per symbol.
+   - [S_word]: single-word kernel over the bare [word_tables] masks —
+     skips the BV phase and the flat-table indirection entirely.
+   - [S_general]: the flat bit-parallel kernel (always correct).
+   The choice is execution strategy only: activation words, hits,
+   projections, digests and checkpoints are identical across steppers,
+   and the [Reference] kernel selector overrides all of them (the
+   differential suites exercise exactly that equivalence). *)
+
+type stepper = S_general | S_word of Nbva.word_tables | S_dfa of Dfa.run
+
+let make_stepper hint exec st =
+  let word_or_general () =
+    match Nbva.word_tables exec with Some wt -> S_word wt | None -> S_general
+  in
+  match hint with
+  | Program.H_dfa { dfa_cache_states } when Nbva.num_bv_stes exec = 0 -> (
+      match Dfa.create ~max_states:dfa_cache_states exec with
+      | Some d -> S_dfa (Dfa.attach d st)
+      | None -> word_or_general ())
+  | Program.H_dfa _ | Program.H_default -> word_or_general ()
+
+(* One stream, one symbol, through the specialized path — bit-identical
+   to [Nbva.step_selected] on every stepper. *)
+let advance stepper nbva st c =
+  match !Nbva.kernel with
+  | Nbva.Reference -> Nbva.step_reference nbva st c
+  | Nbva.Bit_parallel -> (
+      match stepper with
+      | S_general -> Nbva.step nbva st c
+      | S_word wt -> Nbva.step_word wt st c
+      | S_dfa r -> Dfa.step r c)
+
+let reset_stepper = function
+  | S_dfa r ->
+      Dfa.reset (Dfa.cache r);
+      Dfa.invalidate r
+  | S_general | S_word _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* NFA units: compressed executor over the equivalent NBVA.            *)
 
 type nfa_engine = {
@@ -45,12 +90,14 @@ type nfa_engine = {
   bv_bit_tiles : (int * int array) array;  (* BV exec state, per-bit tile *)
   static_cols : int array;
   n_stats : events;
+  n_hint : Program.exec_hint;
+  n_stepper : stepper;  (* bound to [exec_st]; clones rebuild it *)
 }
 
 (* Unfolded width of one exec state. *)
 let exec_width ste = match ste with Nbva.Plain _ -> 1 | Nbva.Bv { size; _ } -> size
 
-let make_nfa_engine ~ast (u : Program.nfa_unit) =
+let make_nfa_engine ~ast ~hint (u : Program.nfa_unit) =
   (* threshold 2 gives maximal compression; the rewriting preserves the
      left-to-right order of unfolded positions, so prefix sums of widths
      recover each state's position range. *)
@@ -89,16 +136,19 @@ let make_nfa_engine ~ast (u : Program.nfa_unit) =
       | Nbva.Bv { size; _ } ->
           bv_bit_tiles := (q, Array.init size (fun bit -> tile_of.(offsets.(q) + bit))) :: !bv_bit_tiles)
     exec.Nbva.stes;
+  let exec_st = Nbva.start exec in
   {
     u;
     exec;
-    exec_st = Nbva.start exec;
+    exec_st;
     offsets;
     cross_sources;
     plain_tile_masks;
     bv_bit_tiles = Array.of_list (List.rev !bv_bit_tiles);
     static_cols = u.Program.tile_cols;
     n_stats = stats_create ntiles;
+    n_hint = hint;
+    n_stepper = make_stepper hint exec exec_st;
   }
 
 (* Projection: refresh the stats record from the executor's post-step
@@ -139,7 +189,7 @@ let nfa_project (e : nfa_engine) =
   s.reports <- Nbva.reports e.exec e.exec_st
 
 let nfa_step (e : nfa_engine) c =
-  ignore (Nbva.step_selected e.exec e.exec_st c);
+  ignore (advance e.n_stepper e.exec e.exec_st c);
   nfa_project e
 
 (* ------------------------------------------------------------------ *)
@@ -155,9 +205,11 @@ type nbva_engine = {
   nb_bv_cols : int array;
   nb_max_bv : int;
   nb_stats : events;
+  nb_hint : Program.exec_hint;
+  nb_stepper : stepper;  (* bound to [nb_st]; clones rebuild it *)
 }
 
-let make_nbva_engine (nu : Program.nbva_unit) =
+let make_nbva_engine ~hint (nu : Program.nbva_unit) =
   let ntiles = Array.length nu.Program.ntiles in
   let n = Nbva.num_states nu.Program.nbva in
   let bv_tile = Array.make n (-1) in
@@ -193,9 +245,10 @@ let make_nbva_engine (nu : Program.nbva_unit) =
       | Nbva.Bv _ -> bv_list := (q, bv_tile.(q)) :: !bv_list
       | Nbva.Plain _ -> ())
     nu.Program.nbva.Nbva.stes;
+  let nb_st = Nbva.start nu.Program.nbva in
   {
     nu;
-    nb_st = Nbva.start nu.Program.nbva;
+    nb_st;
     nb_tile_masks = tile_masks;
     nb_bv_list = Array.of_list (List.rev !bv_list);
     nb_cross_sources = Array.of_list (List.map fst nu.Program.cross_edges);
@@ -203,6 +256,8 @@ let make_nbva_engine (nu : Program.nbva_unit) =
     nb_bv_cols = bv_cols;
     nb_max_bv = max_bv;
     nb_stats = stats_create ntiles;
+    nb_hint = hint;
+    nb_stepper = make_stepper hint nu.Program.nbva nb_st;
   }
 
 let nbva_project (e : nbva_engine) =
@@ -230,7 +285,7 @@ let nbva_project (e : nbva_engine) =
   s.reports <- Nbva.reports nbva e.nb_st
 
 let nbva_step (e : nbva_engine) c =
-  ignore (Nbva.step_selected e.nu.Program.nbva e.nb_st c);
+  ignore (advance e.nb_stepper e.nu.Program.nbva e.nb_st c);
   nbva_project e
 
 (* ------------------------------------------------------------------ *)
@@ -331,9 +386,33 @@ let bin_step (e : bin_engine) c =
 type t = E_nfa of nfa_engine | E_nbva of nbva_engine | E_bin of bin_engine
 
 let mode = function E_nfa _ -> M_nfa | E_nbva _ -> M_nbva | E_bin _ -> M_lnfa
-let of_nfa_unit ~ast u = E_nfa (make_nfa_engine ~ast u)
-let of_nbva_unit u = E_nbva (make_nbva_engine u)
+let of_nfa_unit ?(hint = Program.H_default) ~ast u = E_nfa (make_nfa_engine ~ast ~hint u)
+let of_nbva_unit ?(hint = Program.H_default) u = E_nbva (make_nbva_engine ~hint u)
 let of_bin b = E_bin (make_bin_engine b)
+
+let stepper_name t =
+  let of_stepper = function S_general -> "general" | S_word _ -> "word" | S_dfa _ -> "dfa" in
+  match t with
+  | E_nfa e -> of_stepper e.n_stepper
+  | E_nbva e -> of_stepper e.nb_stepper
+  | E_bin _ -> "shift-and"
+
+let dfa_stats t =
+  let of_stepper = function
+    | S_dfa r ->
+        let d = Dfa.cache r in
+        Some (Dfa.cached_states d, Dfa.fills d, Dfa.flushes d, Dfa.disabled d)
+    | S_general | S_word _ -> None
+  in
+  match t with
+  | E_nfa e -> of_stepper e.n_stepper
+  | E_nbva e -> of_stepper e.nb_stepper
+  | E_bin _ -> None
+
+let reset_derived = function
+  | E_nfa e -> reset_stepper e.n_stepper
+  | E_nbva e -> reset_stepper e.nb_stepper
+  | E_bin _ -> ()
 
 let stats_of = function E_nfa e -> e.n_stats | E_nbva e -> e.nb_stats | E_bin e -> e.b_stats
 
@@ -364,8 +443,8 @@ let step t c =
 
 let step_kernel t c =
   match t with
-  | E_nfa e -> ignore (Nbva.step_selected e.exec e.exec_st c)
-  | E_nbva e -> ignore (Nbva.step_selected e.nu.Program.nbva e.nb_st c)
+  | E_nfa e -> ignore (advance e.n_stepper e.exec e.exec_st c)
+  | E_nbva e -> ignore (advance e.nb_stepper e.nu.Program.nbva e.nb_st c)
   | E_bin e -> ignore (Shift_and.step e.sa e.sa_st c)
 
 let sfa_tables t =
@@ -420,22 +499,42 @@ let semantic_zero t =
 
 let clone_fresh = function
   | E_nfa e ->
+      let exec_st = Nbva.start e.exec in
       E_nfa
-        { e with exec_st = Nbva.start e.exec; n_stats = stats_create (Array.length e.n_stats.active) }
+        {
+          e with
+          exec_st;
+          n_stats = stats_create (Array.length e.n_stats.active);
+          n_stepper = make_stepper e.n_hint e.exec exec_st;
+        }
   | E_nbva e ->
+      let nb_st = Nbva.start e.nu.Program.nbva in
       E_nbva
         {
           e with
-          nb_st = Nbva.start e.nu.Program.nbva;
+          nb_st;
           nb_stats = stats_create (Array.length e.nb_stats.active);
+          nb_stepper = make_stepper e.nb_hint e.nu.Program.nbva nb_st;
         }
   | E_bin e ->
       let b_arena, sa_st = make_bin_arena e.sa in
       E_bin { e with b_arena; sa_st; b_stats = stats_create e.bin.Binning.tiles }
 
 type multi =
-  | Mu_nfa of { m_exec : Nbva.t; m_engs : nfa_engine array; m_sts : Nbva.run_state array; m_hits : bool array }
-  | Mu_nbva of { m_nbva : Nbva.t; m_engs : nbva_engine array; m_sts : Nbva.run_state array; m_hits : bool array }
+  | Mu_nfa of {
+      m_exec : Nbva.t;
+      m_engs : nfa_engine array;
+      m_sts : Nbva.run_state array;
+      m_hits : bool array;
+      m_steppers : stepper array;
+    }
+  | Mu_nbva of {
+      m_nbva : Nbva.t;
+      m_engs : nbva_engine array;
+      m_sts : Nbva.run_state array;
+      m_hits : bool array;
+      m_steppers : stepper array;
+    }
   | Mu_bin of bin_engine array
 
 let multi_mismatch () = invalid_arg "Engine.multi: engines are not clones of one template"
@@ -454,6 +553,7 @@ let multi es =
           m_engs = engs;
           m_sts = Array.map (fun (e : nfa_engine) -> e.exec_st) engs;
           m_hits = Array.make k false;
+          m_steppers = Array.map (fun (e : nfa_engine) -> e.n_stepper) engs;
         }
   | E_nbva e0 ->
       let engs =
@@ -469,6 +569,7 @@ let multi es =
           m_engs = engs;
           m_sts = Array.map (fun (e : nbva_engine) -> e.nb_st) engs;
           m_hits = Array.make k false;
+          m_steppers = Array.map (fun (e : nbva_engine) -> e.nb_stepper) engs;
         }
   | E_bin e0 ->
       Mu_bin
@@ -482,13 +583,26 @@ let multi es =
    [step es.(i) cs.(i)] would have returned, for every i.  Shift-And
    bins have no batched kernel (their state is one packed vector, no
    shared mask tables to amortize) and simply step in stream order. *)
+(* Members of one slot are clones of one template, so they share a
+   stepper shape: when it is specialized (word kernel or DFA cache) the
+   per-stream specialized step beats the phase-major batched kernel —
+   the DFA's cached path touches no mask tables at all, and a
+   single-word automaton's tables are too small for cache amortization
+   to matter.  Under the [Reference] selector [advance] already degrades
+   to per-stream reference stepping, matching [step_multi_selected]. *)
+let multi_advance steppers exec sts cs hits =
+  match steppers.(0) with
+  | (S_word _ | S_dfa _) when !Nbva.kernel = Nbva.Bit_parallel ->
+      Array.iteri (fun i st -> hits.(i) <- advance steppers.(i) exec st cs.(i)) sts
+  | S_general | S_word _ | S_dfa _ -> Nbva.step_multi_selected exec sts cs hits
+
 let multi_step m cs =
   match m with
-  | Mu_nfa { m_exec; m_engs; m_sts; m_hits } ->
-      Nbva.step_multi_selected m_exec m_sts cs m_hits;
+  | Mu_nfa { m_exec; m_engs; m_sts; m_hits; m_steppers } ->
+      multi_advance m_steppers m_exec m_sts cs m_hits;
       Array.iter nfa_project m_engs
-  | Mu_nbva { m_nbva; m_engs; m_sts; m_hits } ->
-      Nbva.step_multi_selected m_nbva m_sts cs m_hits;
+  | Mu_nbva { m_nbva; m_engs; m_sts; m_hits; m_steppers } ->
+      multi_advance m_steppers m_nbva m_sts cs m_hits;
       Array.iter nbva_project m_engs
   | Mu_bin engs -> Array.iteri (fun i e -> bin_step e cs.(i)) engs
 

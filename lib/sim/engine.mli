@@ -22,9 +22,34 @@ val num_tiles : t -> int
 
 (** {1 Construction} *)
 
-val of_nfa_unit : ast:Ast.t -> Program.nfa_unit -> t
-val of_nbva_unit : Program.nbva_unit -> t
+val of_nfa_unit : ?hint:Program.exec_hint -> ast:Ast.t -> Program.nfa_unit -> t
+val of_nbva_unit : ?hint:Program.exec_hint -> Program.nbva_unit -> t
 val of_bin : Binning.bin -> t
+
+(** {1 Per-placement stepper specialization}
+
+    NBVA-backed engines pick the cheapest bit-identical kernel at
+    construction, steered by the compiled unit's {!Program.exec_hint}:
+    an [H_dfa] hint (and structural eligibility — no BV-STEs) attaches a
+    lazy-DFA transition cache ({!Dfa}); otherwise placements whose whole
+    state is one active word get the fused single-word kernel
+    ({!Nbva.step_word}), and everything else the flat bit-parallel
+    kernel.  The choice is invisible in every observable — activation
+    words, hits, events, digests, snapshots — and the [Nbva.kernel]
+    reference selector overrides all specialized paths. *)
+
+val stepper_name : t -> string
+(** ["dfa"], ["word"], ["general"], or ["shift-and"] (bins). *)
+
+val dfa_stats : t -> (int * int * int * bool) option
+(** [(cached_states, fills, flushes, disabled)] of the DFA cache, when
+    the engine runs one. *)
+
+val reset_derived : t -> unit
+(** Drop derived execution state (the lazy-DFA cache).  Never changes
+    semantics — the cache rebuilds from the live activation words — but
+    must be called after compiled tables are repaired in place, since
+    cached transitions were derived from the pre-repair tables. *)
 
 (** {1 Stepping}
 

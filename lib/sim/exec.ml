@@ -33,8 +33,9 @@ let build (p : Mapper.placement) (tiles : Mapper.placed_tile array) =
                   engine_of_key (`Unit unit_id) (fun () ->
                       let c = p.Mapper.units.(unit_id) in
                       match c.Program.kind with
-                      | Program.U_nfa u -> Engine.of_nfa_unit ~ast:c.Program.ast u
-                      | Program.U_nbva u -> Engine.of_nbva_unit u
+                      | Program.U_nfa u ->
+                          Engine.of_nfa_unit ~hint:c.Program.hint ~ast:c.Program.ast u
+                      | Program.U_nbva u -> Engine.of_nbva_unit ~hint:c.Program.hint u
                       | Program.U_lnfa _ -> assert false)
                 in
                 (e, local_tile)
@@ -256,12 +257,36 @@ let group_step arch g ~syms cs =
    — everything downstream folds in phase-4 emission order, which is
    symbol order, identical to serial. *)
 
+(* Sequential-fallback cost model for the chunked path, in arena-word
+   units per input symbol:
+   - [kernel_w]: one kernel pass over every engine (phase 1 and the
+     phase-3 replay both pay it; state words are a fair proxy for the
+     per-symbol word traffic).
+   - [spec_w]: the kernel cost of engines OUTSIDE the matrix fragment.
+     Their phase-1 run is a speculation that the chunk enters in the
+     empty state; on a live stream that speculation usually misses, and
+     the phase-2 re-run is SERIAL — so this term does not divide by
+     [jobs].
+   - [xfer_w]: per-chunk transfer-matrix build cost — one {!Sfa.feed}
+     per matrix engine per symbol, O(live rows); estimated at a quarter
+     of the table dimension (rows die off as they converge). *)
+let chunk_cost_model t =
+  let kernel_w = ref 0 and spec_w = ref 0 and xfer_w = ref 0 in
+  Array.iteri
+    (fun j e ->
+      let words = Engine.state_words e in
+      kernel_w := !kernel_w + words;
+      match t.sfa.(j) with
+      | Some (Sfa.Linear { n; _ }) -> xfer_w := !xfer_w + ((n + 3) / 4)
+      | Some (Sfa.Shift { width; _ }) -> xfer_w := !xfer_w + ((width + 3) / 4)
+      | None -> spec_w := !spec_w + words)
+    t.engines;
+  (!kernel_w, !spec_w, !xfer_w)
+
 let run_chunks ?(jobs = 1) ?(deadline = Scheduler.no_deadline) arch t ~base ~chunks ~emit =
   let k = Array.length chunks in
   let total = Array.fold_left (fun acc c -> acc + String.length c) 0 chunks in
-  if k = 0 || total = 0 then ()
-  else if jobs <= 1 || k = 1 then
-    (* degenerate split: plain serial loop, no clones *)
+  let run_serial () =
     let sym = ref base in
     Array.iter
       (fun chunk ->
@@ -272,7 +297,33 @@ let run_chunks ?(jobs = 1) ?(deadline = Scheduler.no_deadline) arch t ~base ~chu
             incr sym)
           chunk)
       chunks
+  in
+  (* The chunked path is only entered when the cost model predicts a
+     win: it duplicates kernel work (speculative pass + replay), builds
+     transfer matrices, and serially re-runs mispredicted speculative
+     engines, so against [jobs] effective domains — clamped to the
+     machine, exactly as the scheduler will clamp them — the projected
+     per-symbol cost must beat the serial step by a margin, and the
+     total work (scaled by the duplication) must clear the scheduler's
+     own inline-fallback bar, below which the "parallel" phases would
+     run inline and the duplication could never be repaid. *)
+  if k = 0 || total = 0 then ()
+  else if jobs <= 1 || k = 1 then run_serial ()
   else begin
+    let jobs = min jobs (Scheduler.available_parallelism ()) in
+    let kernel_w, spec_w, xfer_w = chunk_cost_model t in
+    let full = 2 * max 1 kernel_w in
+    (* per symbol: full-step replay + speculative kernel + matrix build *)
+    let pass = full + kernel_w + xfer_w in
+    let scaled_work = max 1 (total / k * pass / full) in
+    let chunked = ((pass + jobs - 1) / jobs) + spec_w in
+    let profitable =
+      jobs > 1
+      && scaled_work * k >= Scheduler.seq_work_threshold
+      && 4 * chunked <= 3 * full
+    in
+    if not profitable then run_serial ()
+    else begin
     let n_eng = Array.length t.engines in
     let bases = Array.make k base in
     for ki = 1 to k - 1 do
@@ -280,7 +331,7 @@ let run_chunks ?(jobs = 1) ?(deadline = Scheduler.no_deadline) arch t ~base ~chu
     done;
     let clones = Array.init k (fun _ -> clone_fresh t) in
     let xfers = Array.init k (fun _ -> Array.map (Option.map Sfa.start) t.sfa) in
-    let work = max 1 (total / k) in
+    let work = scaled_work in
     (* phase 1: transfer rows + speculative from-zero kernel runs *)
     Scheduler.parallel_for ~work_per_index:work ~jobs k (fun ki ->
         let cl = clones.(ki) and xf = xfers.(ki) in
@@ -331,4 +382,5 @@ let run_chunks ?(jobs = 1) ?(deadline = Scheduler.no_deadline) arch t ~base ~chu
     Array.iter
       (Array.iter (function Some ev -> emit ev | None -> assert false))
       bufs
+    end
   end

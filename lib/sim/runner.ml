@@ -49,7 +49,13 @@ let compile_for (arch : Arch.t) ~params regexes =
           match Nfa_compile.compile ast with
           | u ->
               if Nfa_compile.fits_array u then
-                push source { Program.source; ast; kind = Program.U_nfa u }
+                push source
+                  {
+                    Program.source;
+                    ast;
+                    kind = Program.U_nfa u;
+                    hint = Mode_select.decide_exec ~params ast;
+                  }
               else
                 fail source
                   (Compile_error.Oversize
@@ -64,7 +70,14 @@ let compile_for (arch : Arch.t) ~params regexes =
               ~col_demand:(fun _ -> 1)
               ast
           with
-          | u -> push source { Program.source; ast; kind = Program.U_nfa u }
+          | u ->
+              push source
+                {
+                  Program.source;
+                  ast;
+                  kind = Program.U_nfa u;
+                  hint = Mode_select.decide_exec ~params ast;
+                }
           | exception Invalid_argument msg -> unsupported source msg)
       | Arch.Bvap -> (
           let wants_bv =
@@ -72,9 +85,10 @@ let compile_for (arch : Arch.t) ~params regexes =
               (Rewrite.unfold_for_nbva ~threshold:params.Program.unfold_threshold ast)
           in
           match
+            let hint = Mode_select.decide_exec ~params ast in
             if wants_bv then
-              Program.{ source; ast; kind = U_nbva (Nbva_compile.compile_bvap ~params ast) }
-            else Program.{ source; ast; kind = U_nfa (Nfa_compile.compile ast) }
+              Program.{ source; ast; kind = U_nbva (Nbva_compile.compile_bvap ~params ast); hint }
+            else Program.{ source; ast; kind = U_nfa (Nfa_compile.compile ast); hint }
           with
           | c -> push source c
           | exception Invalid_argument msg -> unsupported source msg))

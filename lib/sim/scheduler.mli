@@ -35,6 +35,16 @@ val available_parallelism : unit -> int
 val default_jobs : unit -> int
 (** Alias for {!available_parallelism}. *)
 
+val seq_work_threshold : int
+(** The inline-fallback threshold of {!parallel_for}, in caller work
+    units (typically input symbols): below this much estimated total
+    work, waking the pool costs more than it saves.  Exported so callers
+    whose parallel path has a {e setup cost of its own} (e.g. the
+    chunk-composition pipeline in [Exec.run_chunks], which duplicates
+    kernel work and builds transfer matrices) can pre-check against the
+    same bar and keep their cheap serial path instead of entering a
+    parallel structure whose dispatch would then run inline anyway. *)
+
 val parallel_for : ?work_per_index:int -> jobs:int -> int -> (int -> unit) -> unit
 (** [parallel_for ~jobs n f] runs [f 0 .. f (n-1)] on
     [min jobs n (available_parallelism ())] domains from the persistent

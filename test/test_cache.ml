@@ -163,7 +163,11 @@ let test_version_skew_rejected_before_unmarshal () =
         Buffer.add_string b rest;
         Buffer.contents b
       in
-      let save p = Artifact.save ~path:(Program_cache.path ~dir ~key) ~magic:"RAPPROG" ~version:3 p in
+      let save p =
+        Artifact.save
+          ~path:(Program_cache.path ~dir ~key)
+          ~magic:"RAPPROG" ~version:Program_cache.version p
+      in
       let contains hay needle =
         let nh = String.length hay and nn = String.length needle in
         let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
